@@ -1,0 +1,43 @@
+// Ablation: the CG "good initial state" prediction (Fischer-style
+// successive-solution projection), one of the solver accelerations the
+// paper credits for NEKTAR's convergence. Sweeps the projection depth on a
+// time series of Helmholtz solves with a smoothly evolving right-hand side
+// (what the unsteady splitting scheme produces every step) and reports the
+// average CG iteration count.
+
+#include <cmath>
+#include <cstdio>
+
+#include "mesh/quadmesh.hpp"
+#include "sem/discretization.hpp"
+#include "sem/helmholtz.hpp"
+#include "sem/operators.hpp"
+
+int main() {
+  std::printf("=== Ablation: initial-guess projection depth vs CG iterations ===\n\n");
+
+  auto m = mesh::QuadMesh::lid_cavity(4);
+  sem::Discretization d(m, 6);
+  sem::Operators ops(d);
+
+  std::printf("%-8s %-18s %-18s\n", "depth", "iters (steps 1-4)", "iters (steps 5-24)");
+  for (std::size_t depth : {0u, 1u, 2u, 4u, 8u, 16u}) {
+    sem::HelmholtzSolver hs(ops, 50.0, 1.0, {mesh::kWall, mesh::kInlet});
+    hs.set_projection_depth(depth);
+    la::Vector u;
+    std::size_t warmup = 0, steady = 0;
+    for (int step = 0; step < 24; ++step) {
+      la::Vector f(d.num_nodes());
+      const double t = 0.04 * step;
+      for (std::size_t g = 0; g < d.num_nodes(); ++g)
+        f[g] = std::sin(M_PI * d.node_x(g) + t) * std::sin(M_PI * d.node_y(g) - 0.5 * t);
+      auto res = hs.solve(f, [](double, double) { return 0.0; }, u);
+      (step < 4 ? warmup : steady) += res.iterations;
+    }
+    std::printf("%-8zu %-18.1f %-18.1f\n", depth, warmup / 4.0, steady / 20.0);
+  }
+  std::printf("\n(depth 0 = no prediction; the paper's accelerated solver corresponds to\n"
+              " a nonzero depth — expect several-fold iteration reduction once the\n"
+              " basis covers the RHS's temporal variation)\n");
+  return 0;
+}

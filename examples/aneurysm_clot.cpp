@@ -1,0 +1,128 @@
+// Example: the paper's headline scenario at laptop scale — blood flow over
+// an aneurysm-like cavity with platelet-driven thrombus formation.
+//
+// The continuum patch is a channel with a side cavity (the sac); the DPD
+// domain covers the sac and the channel segment beneath it; platelets that
+// dwell near the damaged sac wall trigger, activate after a delay, arrest,
+// and aggregate into a growing clot (Sec. 2 + Fig. 10 physics).
+//
+// Run: ./build/examples/aneurysm_clot
+
+#include <cstdio>
+
+#include "coupling/cdc.hpp"
+#include "dpd/geometry.hpp"
+#include "dpd/inflow.hpp"
+#include "dpd/platelets.hpp"
+#include "dpd/system.hpp"
+#include "mesh/quadmesh.hpp"
+#include "sem/ns2d.hpp"
+#include "sem/operators.hpp"
+
+int main() {
+  std::printf("Aneurysm clotting demo: coupled continuum-atomistic simulation\n\n");
+
+  // continuum: channel with an aneurysm-like cavity on the upper wall
+  auto m = mesh::QuadMesh::channel_with_cavity(/*L=*/8.0, /*H=*/1.0, /*cav_x0=*/3.0,
+                                               /*cav_x1=*/5.0, /*cav_depth=*/1.0,
+                                               /*nx=*/16, /*ny=*/2);
+  sem::Discretization d(m, 4);
+  sem::NavierStokes2D::Params nsp;
+  nsp.nu = 0.02;
+  nsp.dt = 2e-3;
+  sem::NavierStokes2D ns(d, nsp);
+  const double T = 0.8;  // pulse period (NS time units)
+  ns.set_velocity_bc(mesh::kInlet,
+                     [T](double, double y, double t) {
+                       return 4.0 * y * (1.0 - y) * (1.0 + 0.3 * std::sin(2 * M_PI * t / T));
+                     },
+                     [](double, double, double) { return 0.0; });
+  ns.set_natural_bc(mesh::kOutlet);
+  std::printf("continuum: channel+cavity, %zu SEM nodes; developing flow...\n",
+              d.num_nodes());
+  for (int s = 0; s < 200; ++s) ns.step();
+  // flow inside the sac is slow compared to the channel: the clot condition
+  std::printf("  channel centerline u = %.3f, sac u = %.3f (stagnant: clotting risk)\n\n",
+              d.evaluate(ns.u(), 4.0, 0.5), d.evaluate(ns.u(), 4.0, 1.5));
+
+  // atomistic: DPD domain covering the sac region
+  dpd::DpdParams dp;
+  dp.box = {20.0, 5.0, 10.0};
+  dp.periodic = {false, true, false};
+  dp.dt = 0.01;
+  dpd::DpdSystem sys(dp, std::make_shared<dpd::ChannelWithCavityZ>(5.0, 6.0, 14.0, 5.0));
+  sys.fill(3.0, dpd::kSolvent, 41, 0.1);
+
+  dpd::PlateletParams pp;
+  pp.adhesive_region = [](const dpd::Vec3& p) { return p.z > 5.0; };  // sac walls
+  pp.activation_delay = 2.0;
+  pp.bind_distance = 0.8;
+  pp.bind_speed = 1.2;
+  auto platelets = std::make_shared<dpd::PlateletModel>(pp);
+  sys.add_module(platelets);
+  platelets->seed_platelets(sys, 50, 5);
+  std::printf("atomistic: %zu particles incl. %zu platelets\n\n", sys.size(),
+              platelets->total());
+
+  dpd::FlowBcParams fp;
+  fp.axis = 0;
+  fp.buffer_len = 2.0;
+  fp.density = 3.0;
+  fp.relax = 0.3;
+  dpd::FlowBc bc(fp);
+
+  coupling::ScaleMap scales;
+  scales.L_ns = 1.0;
+  scales.L_dpd = 5.0;
+  scales.nu_ns = nsp.nu;
+  scales.nu_dpd = 0.4;
+  coupling::TimeProgression tp;
+  tp.dt_ns = nsp.dt;
+  tp.exchange_every_ns = 5;
+  tp.dpd_per_ns = 10;
+  coupling::ContinuumDpdCoupler cdc(ns, sys, bc, {2.0, 6.0, 0.0, 2.0}, scales, tp);
+
+  std::printf("%-10s %-8s %-7s | clot profile along the sac wall\n", "DPD time", "active",
+              "bound");
+  for (int block = 0; block < 6; ++block) {
+    for (int k = 0; k < 5; ++k) cdc.advance_interval([&] { platelets->update(sys); });
+    // crude rendering: bound platelets per x-slab of the sac
+    int slab[10] = {};
+    for (std::size_t i = 0; i < platelets->total(); ++i) {
+      if (platelets->state_of(i) != dpd::PlateletState::Bound) continue;
+      const auto& p = sys.positions()[platelets->particles()[i]];
+      const int sbin = std::clamp(static_cast<int>(p.x / 2.0), 0, 9);
+      slab[sbin]++;
+    }
+    std::printf("%-10.1f %-8zu %-7zu | ", sys.time(),
+                platelets->count(dpd::PlateletState::Active),
+                platelets->count(dpd::PlateletState::Bound));
+    for (int sbin = 0; sbin < 10; ++sbin)
+      std::printf("%c", slab[sbin] == 0 ? '.' : slab[sbin] < 3 ? '+' : '#');
+    std::printf("\n");
+  }
+  std::printf("\n('#' slabs mark the thrombus; it nucleates inside the sac (x ~ 6-14)\n"
+              " where the adhesive wall and the stagnant flow coincide)\n");
+
+  // wall shear stress along the walls (the paper: mean WSS is "a very
+  // important quantity in biological flows"); the sac walls should carry far
+  // lower WSS than the channel walls — the clotting-risk signature
+  sem::Operators ops(d);
+  auto tau = ops.wall_shear_stress(ns.u(), ns.v(), nsp.nu, mesh::kWall);
+  const auto& wall_nodes = d.boundary_nodes(mesh::kWall);
+  double wss_channel = 0.0, wss_sac = 0.0;
+  std::size_t nc = 0, nsac = 0;
+  for (std::size_t k = 0; k < wall_nodes.size(); ++k) {
+    const double y = d.node_y(wall_nodes[k]);
+    if (y == 0.0) {
+      wss_channel += std::fabs(tau[k]);
+      ++nc;
+    } else if (y > 1.5) {
+      wss_sac += std::fabs(tau[k]);
+      ++nsac;
+    }
+  }
+  std::printf("\nmean |WSS|: channel floor %.4f vs aneurysm dome %.4f (ratio %.1fx)\n",
+              wss_channel / nc, wss_sac / nsac, (wss_channel / nc) / (wss_sac / nsac + 1e-12));
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Example: the paper's configuration in full 3D — a 3D spectral-element
+// Navier-Stokes channel (plates at z = 0, H) with an embedded 3D DPD box,
+// coupled through Eq. (1) and the Fig. 5 schedule with no dimension
+// folding. Prints the continuum and atomistic velocity profiles across the
+// gap, plus the wall-normal profile agreement.
+//
+// Run: ./build/examples/coupled3d
+
+#include <cstdio>
+
+#include "coupling/cdc3d.hpp"
+#include "dpd/geometry.hpp"
+#include "dpd/inflow.hpp"
+#include "dpd/sampling.hpp"
+#include "dpd/system.hpp"
+#include "sem/ns3d.hpp"
+
+int main() {
+  std::printf("Fully 3D coupled simulation: SEM hexahedra + DPD box\n\n");
+
+  const double H = 1.0, Umax = 1.0, nu = 0.05;
+  sem::Discretization3D d(4.0, 1.0, H, 4, 1, 2, 4);
+  sem::NavierStokes3D::Params prm;
+  prm.nu = nu;
+  prm.dt = 2e-3;
+  prm.time_order = 2;
+  prm.pressure_dirichlet_faces = {sem::HexFace::X1};
+  sem::NavierStokes3D ns(d, prm);
+  auto prof = [&](double, double, double z, double) {
+    return 4.0 * Umax * z * (H - z) / (H * H);
+  };
+  auto zero = [](double, double, double, double) { return 0.0; };
+  ns.set_velocity_bc(sem::HexFace::X0, prof, zero, zero);
+  ns.set_velocity_bc(sem::HexFace::Y0, prof, zero, zero);
+  ns.set_velocity_bc(sem::HexFace::Y1, prof, zero, zero);
+  ns.set_natural_bc(sem::HexFace::X1);
+  std::printf("continuum: %zu hexahedral SEM nodes, developing...\n", d.num_nodes());
+  for (int s = 0; s < 300; ++s) ns.step();
+
+  dpd::DpdParams dp;
+  dp.box = {16.0, 6.0, 10.0};
+  dp.periodic = {false, true, false};
+  dp.dt = 0.01;
+  dpd::DpdSystem sys(dp, std::make_shared<dpd::ChannelZ>(10.0));
+  sys.fill(3.0, dpd::kSolvent, 7, 0.1);
+  std::printf("atomistic: %zu DPD particles\n\n", sys.size());
+  dpd::FlowBcParams fp;
+  fp.axis = 0;
+  fp.relax = 0.3;
+  dpd::FlowBc bc(fp);
+
+  coupling::ScaleMap scales;
+  scales.L_ns = H;
+  scales.L_dpd = 10.0;
+  scales.nu_ns = nu;
+  scales.nu_dpd = 2.5;
+  coupling::TimeProgression tp;
+  tp.dt_ns = prm.dt;
+  tp.exchange_every_ns = 2;
+  tp.dpd_per_ns = 10;
+  coupling::EmbeddedBox box{1.5, 2.5, 0.25, 0.75, 0.0, 1.0};
+  coupling::ContinuumDpdCoupler3D cdc(ns, sys, bc, box, scales, tp);
+
+  dpd::SamplerParams sp;
+  sp.nx = 1;
+  sp.ny = 1;
+  sp.nz = 10;
+  dpd::FieldSampler sampler(sys, sp);
+  for (int interval = 0; interval < 25; ++interval)
+    cdc.advance_interval([&] {
+      if (interval >= 15) sampler.accumulate(sys);
+    });
+
+  auto profile = sampler.snapshot();
+  std::printf("%-8s %-14s %-16s\n", "z (NS)", "u continuum", "u DPD (scaled back)");
+  for (std::size_t b = 0; b < profile.size(); ++b) {
+    const double z = (static_cast<double>(b) + 0.5) / static_cast<double>(profile.size());
+    std::printf("%-8.2f %-14.4f %-16.4f\n", z, d.evaluate(ns.u(), 2.0, 0.5, z),
+                scales.velocity_dpd_to_ns(profile[b]));
+  }
+  std::printf("\n%zu exchanges; all three velocity components coupled (v, w ~ 0)\n",
+              cdc.exchanges());
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Example: WPOD co-processing of an unsteady DPD simulation (Sec. 3.4).
+// Runs an oscillating channel flow, feeds windowed snapshots to the WPOD
+// analyzer, and prints the eigenspectrum, the adaptive mean/fluctuation
+// split, and the reconstructed time-resolved centerline velocity — the
+// workflow a user would attach to a production atomistic run.
+//
+// Run: ./build/examples/wpod_analysis
+
+#include <cstdio>
+#include <vector>
+
+#include "dpd/geometry.hpp"
+#include "dpd/sampling.hpp"
+#include "dpd/system.hpp"
+#include "la/stats.hpp"
+#include "wpod/wpod.hpp"
+
+int main() {
+  std::printf("WPOD co-processing demo: oscillating DPD channel flow\n\n");
+
+  dpd::DpdParams prm;
+  prm.box = {12.0, 6.0, 8.0};
+  prm.periodic = {true, true, false};
+  prm.dt = 0.01;
+  dpd::DpdSystem sys(prm, std::make_shared<dpd::ChannelZ>(8.0));
+  sys.fill(3.0, dpd::kSolvent, 3, 0.1);
+  sys.set_body_force([&sys](const dpd::Vec3&, dpd::Species) {
+    return dpd::Vec3{0.1 * std::sin(0.35 * sys.time()), 0.0, 0.0};
+  });
+  for (int s = 0; s < 400; ++s) sys.step();
+
+  dpd::SamplerParams sp;
+  sp.nx = 6;
+  sp.ny = 1;
+  sp.nz = 16;
+  dpd::FieldSampler sampler(sys, sp);
+
+  const int kWindows = 64, kNts = 40;
+  std::vector<la::Vector> snaps;
+  for (int w = 0; w < kWindows; ++w) {
+    for (int s = 0; s < kNts; ++s) {
+      sys.step();
+      sampler.accumulate(sys);
+    }
+    snaps.push_back(sampler.snapshot());
+  }
+  std::printf("collected %d windows of %d steps over %zu bins\n\n", kWindows, kNts,
+              snaps[0].size());
+
+  auto wp = wpod::analyze(snaps);
+  std::printf("eigenspectrum (first 10 of %zu):\n  ", wp.eigenvalues.size());
+  for (int k = 0; k < 10; ++k) std::printf("%.3g  ", wp.eigenvalues[static_cast<std::size_t>(k)]);
+  std::printf("\n  noise floor %.3g -> adaptive split keeps %zu mean mode(s)\n\n",
+              wp.noise_floor, wp.k_mean);
+
+  // time-resolved centerline velocity: raw window average vs WPOD mean
+  std::printf("%-8s %-16s %-16s\n", "window", "raw centerline u", "WPOD centerline u");
+  const std::size_t center_bin = (8 / 2) * 6 + 3;  // z middle, x middle-ish
+  for (int w = 0; w < kWindows; w += 8) {
+    const auto mean = wp.mean_at(static_cast<std::size_t>(w));
+    std::printf("%-8d %-16.4f %-16.4f\n", w, snaps[static_cast<std::size_t>(w)][center_bin],
+                mean[center_bin]);
+  }
+
+  // fluctuation statistics
+  std::vector<double> fl;
+  for (std::size_t t = 0; t < snaps.size(); ++t) {
+    auto f = wp.fluctuation_at(t, snaps[t]);
+    fl.insert(fl.end(), f.begin(), f.end());
+  }
+  auto mom = la::stats::moments(fl);
+  std::printf("\nbin-level fluctuations: sigma = %.4f, skew = %.2f, kurtosis-3 = %.2f\n",
+              mom.stddev, mom.skewness, mom.kurtosis_excess);
+  std::printf("(the WPOD column is smooth while staying time-resolved; the raw column\n"
+              " carries the per-window sampling noise)\n");
+  return 0;
+}

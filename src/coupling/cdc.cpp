@@ -1,0 +1,68 @@
+#include "coupling/cdc.hpp"
+
+#include <cmath>
+
+namespace coupling {
+
+ContinuumDpdCoupler::ContinuumDpdCoupler(sem::NavierStokes2D& ns, dpd::DpdSystem& dpd_sys,
+                                         dpd::FlowBc& flow_bc, const EmbeddedRegion& region,
+                                         const ScaleMap& scales, const TimeProgression& tp)
+    : ns_(&ns), dpd_(&dpd_sys), flow_bc_(&flow_bc), region_(region), scales_(scales), tp_(tp) {
+  scales_.validate();
+}
+
+void ContinuumDpdCoupler::dpd_to_ns(const dpd::Vec3& p, double& x_ns, double& y_ns) const {
+  const auto& box = dpd_->params().box;
+  x_ns = region_.x0 + (p.x / box.x) * (region_.x1 - region_.x0);
+  y_ns = region_.y0 + (p.z / box.z) * (region_.y1 - region_.y0);
+}
+
+dpd::Vec3 ContinuumDpdCoupler::continuum_velocity_at(const dpd::Vec3& p) const {
+  double x, y;
+  dpd_to_ns(p, x, y);
+  // clamp into the NS domain to be robust at the region edges
+  const auto& mesh = ns_->disc().mesh();
+  const double eps = 1e-9;
+  x = std::clamp(x, mesh.x0() + eps, mesh.x0() + mesh.dx() * mesh.grid_nx() - eps);
+  y = std::clamp(y, mesh.y0() + eps, mesh.y0() + mesh.dy() * mesh.grid_ny() - eps);
+  const double u_ns = ns_->disc().evaluate(ns_->u(), x, y);
+  const double v_ns = ns_->disc().evaluate(ns_->v(), x, y);
+  return {scales_.velocity_ns_to_dpd(u_ns), 0.0, scales_.velocity_ns_to_dpd(v_ns)};
+}
+
+void ContinuumDpdCoupler::advance_interval(const std::function<void()>& per_dpd_step) {
+  // exchange: interpolate the continuum field onto the atomistic interface
+  // (the FlowBc buffer and every registered Gamma_I window evaluate the
+  // imposed velocity pointwise)
+  auto field = [this](const dpd::Vec3& p) { return continuum_velocity_at(p); };
+  flow_bc_->set_target_velocity(field);
+  if (buffers_) buffers_->set_shared_target(field);
+  ++exchanges_;
+
+  // Fig. 5 time progression
+  for (int s = 0; s < tp_.exchange_every_ns; ++s) {
+    ns_->step();
+    for (int q = 0; q < tp_.dpd_per_ns; ++q) {
+      dpd_->step();
+      flow_bc_->apply(*dpd_);
+      if (buffers_) buffers_->apply(*dpd_);
+      if (per_dpd_step) per_dpd_step();
+    }
+  }
+}
+
+double ContinuumDpdCoupler::interface_mismatch(dpd::FieldSampler& sampler) const {
+  const auto snap = sampler.snapshot();
+  double acc = 0.0;
+  std::size_t cnt = 0;
+  for (std::size_t b = 0; b < snap.size(); ++b) {
+    const dpd::Vec3 c = sampler.bin_center(b);
+    if (dpd_->geometry().sdf(c) < 1.0) continue;  // skip wall-contaminated bins
+    const dpd::Vec3 v_ns = continuum_velocity_at(c);
+    acc += std::fabs(snap[b] - v_ns.x);
+    ++cnt;
+  }
+  return cnt ? acc / static_cast<double>(cnt) : 0.0;
+}
+
+}  // namespace coupling

@@ -1,0 +1,76 @@
+#pragma once
+// Continuum-atomistic coupling (paper Sec. 3.3): an atomistic subdomain
+// Omega_A (a DPD box) is embedded in a continuum patch Omega_C (a 2D SEM
+// Navier-Stokes solver). Every exchange period tau the continuum velocity
+// is interpolated onto the atomistic interface samples, scaled by Eq. (1),
+// and imposed on the DPD inflow buffer; the DPD solver then takes
+// dpd_per_ns * exchange_every_ns steps per interval (Fig. 5 schedule).
+//
+// Geometry mapping: DPD x <-> NS x, DPD z <-> NS y, DPD y is the
+// out-of-plane (homogeneous, periodic) direction.
+
+#include <memory>
+
+#include "coupling/scales.hpp"
+#include "dpd/buffers.hpp"
+#include "dpd/inflow.hpp"
+#include "dpd/sampling.hpp"
+#include "dpd/system.hpp"
+#include "sem/ns2d.hpp"
+
+namespace coupling {
+
+struct EmbeddedRegion {
+  /// NS-space rectangle covered by the DPD box.
+  double x0 = 0.0, x1 = 1.0;  ///< NS x-range of the DPD box
+  double y0 = 0.0, y1 = 1.0;  ///< NS y-range of the DPD box (maps to DPD z)
+};
+
+class ContinuumDpdCoupler {
+public:
+  /// `flow_bc` is the DPD inflow/outflow machinery whose target velocity the
+  /// coupler refreshes each exchange. All objects must outlive the coupler.
+  ContinuumDpdCoupler(sem::NavierStokes2D& ns, dpd::DpdSystem& dpd_sys, dpd::FlowBc& flow_bc,
+                      const EmbeddedRegion& region, const ScaleMap& scales,
+                      const TimeProgression& tp);
+
+  /// Register additional interface windows (the paper's Gamma_I1..5 planar
+  /// surfaces): their shared target is refreshed at every exchange and they
+  /// are applied each DPD step. Must outlive the coupler.
+  void set_buffer_zones(dpd::BufferZones* zones) { buffers_ = zones; }
+
+  /// One coupling interval (Fig. 5): refresh atomistic BCs from the
+  /// continuum, then advance NS by exchange_every_ns steps and DPD by
+  /// dpd_per_ns steps per NS step. Optional per-DPD-step callback (platelet
+  /// updates, sampling...).
+  void advance_interval(const std::function<void()>& per_dpd_step = {});
+
+  std::size_t exchanges() const { return exchanges_; }
+
+  /// Map a DPD-space point to NS space.
+  void dpd_to_ns(const dpd::Vec3& p, double& x_ns, double& y_ns) const;
+
+  /// Continuum velocity at a DPD point, in DPD units (the imposed-BC field).
+  dpd::Vec3 continuum_velocity_at(const dpd::Vec3& p) const;
+
+  /// Fig. 9 diagnostic: mean |u_DPD - u_NS| over the sampler's bins (both in
+  /// DPD units), using a window of already-accumulated samples.
+  double interface_mismatch(dpd::FieldSampler& sampler) const;
+
+  const ScaleMap& scales() const { return scales_; }
+  const TimeProgression& progression() const { return tp_; }
+  dpd::DpdSystem& dpd_system() { return *dpd_; }
+  sem::NavierStokes2D& ns_solver() { return *ns_; }
+
+private:
+  sem::NavierStokes2D* ns_;
+  dpd::DpdSystem* dpd_;
+  dpd::FlowBc* flow_bc_;
+  dpd::BufferZones* buffers_ = nullptr;
+  EmbeddedRegion region_;
+  ScaleMap scales_;
+  TimeProgression tp_;
+  std::size_t exchanges_ = 0;
+};
+
+}  // namespace coupling

@@ -1,0 +1,66 @@
+#include "coupling/cdc3d.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace coupling {
+
+ContinuumDpdCoupler3D::ContinuumDpdCoupler3D(sem::NavierStokes3D& ns, dpd::DpdSystem& dpd_sys,
+                                             dpd::FlowBc& flow_bc, const EmbeddedBox& box,
+                                             const ScaleMap& scales, const TimeProgression& tp)
+    : ns_(&ns), dpd_(&dpd_sys), flow_bc_(&flow_bc), box_(box), scales_(scales), tp_(tp) {
+  scales_.validate();
+}
+
+void ContinuumDpdCoupler3D::dpd_to_ns(const dpd::Vec3& p, double& x, double& y,
+                                      double& z) const {
+  const auto& b = dpd_->params().box;
+  x = box_.x0 + (p.x / b.x) * (box_.x1 - box_.x0);
+  y = box_.y0 + (p.y / b.y) * (box_.y1 - box_.y0);
+  z = box_.z0 + (p.z / b.z) * (box_.z1 - box_.z0);
+}
+
+dpd::Vec3 ContinuumDpdCoupler3D::continuum_velocity_at(const dpd::Vec3& p) const {
+  double x, y, z;
+  dpd_to_ns(p, x, y, z);
+  const auto& d = ns_->disc();
+  const double eps = 1e-9;
+  x = std::clamp(x, eps, d.Lx() - eps);
+  y = std::clamp(y, eps, d.Ly() - eps);
+  z = std::clamp(z, eps, d.Lz() - eps);
+  return {scales_.velocity_ns_to_dpd(d.evaluate(ns_->u(), x, y, z)),
+          scales_.velocity_ns_to_dpd(d.evaluate(ns_->v(), x, y, z)),
+          scales_.velocity_ns_to_dpd(d.evaluate(ns_->w(), x, y, z))};
+}
+
+void ContinuumDpdCoupler3D::advance_interval(const std::function<void()>& per_dpd_step) {
+  auto field = [this](const dpd::Vec3& p) { return continuum_velocity_at(p); };
+  flow_bc_->set_target_velocity(field);
+  if (buffers_) buffers_->set_shared_target(field);
+  ++exchanges_;
+
+  for (int s = 0; s < tp_.exchange_every_ns; ++s) {
+    ns_->step();
+    for (int q = 0; q < tp_.dpd_per_ns; ++q) {
+      dpd_->step();
+      flow_bc_->apply(*dpd_);
+      if (buffers_) buffers_->apply(*dpd_);
+      if (per_dpd_step) per_dpd_step();
+    }
+  }
+}
+
+double ContinuumDpdCoupler3D::interface_mismatch(dpd::FieldSampler& sampler) const {
+  const auto snap = sampler.snapshot();
+  double acc = 0.0;
+  std::size_t cnt = 0;
+  for (std::size_t b = 0; b < snap.size(); ++b) {
+    const dpd::Vec3 c = sampler.bin_center(b);
+    if (dpd_->geometry().sdf(c) < 1.0) continue;
+    acc += std::fabs(snap[b] - continuum_velocity_at(c).x);
+    ++cnt;
+  }
+  return cnt ? acc / static_cast<double>(cnt) : 0.0;
+}
+
+}  // namespace coupling

@@ -1,0 +1,148 @@
+#include "coupling/mci.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace coupling {
+
+namespace {
+constexpr int kTagDiscoverySamples = 9001;
+constexpr int kTagDiscoveryClaims = 9002;
+}  // namespace
+
+Mci build_mci(const xmp::Comm& world, const MciConfig& cfg) {
+  if (cfg.rack_of.size() != static_cast<std::size_t>(world.size()) ||
+      cfg.task_of.size() != static_cast<std::size_t>(world.size()))
+    throw std::invalid_argument("build_mci: config arrays must cover all world ranks");
+  Mci m;
+  m.world = world;
+  m.rack = cfg.rack_of[static_cast<std::size_t>(world.rank())];
+  m.task = cfg.task_of[static_cast<std::size_t>(world.rank())];
+  m.l2 = world.split(m.rack, world.rank());
+  m.l3 = world.split(m.task, world.rank());
+  return m;
+}
+
+xmp::Comm derive_l4(const xmp::Comm& l3, bool member) {
+  return l3.split(member ? 0 : xmp::kUndefined, l3.rank());
+}
+
+InterfaceChannel::InterfaceChannel(xmp::Comm world, xmp::Comm l4, int peer_root_world,
+                                   std::size_t total_samples,
+                                   std::vector<std::size_t> my_samples, int tag)
+    : world_(std::move(world)), l4_(std::move(l4)), peer_root_world_(peer_root_world),
+      total_(total_samples), my_samples_(std::move(my_samples)), tag_(tag) {
+  if (!l4_.valid()) throw std::invalid_argument("InterfaceChannel: invalid L4 comm");
+  std::vector<std::size_t> counts;
+  auto all = l4_.gatherv(std::span<const std::size_t>(my_samples_), 0, &counts);
+  if (l4_.rank() == 0) {
+    all_samples_.resize(counts.size());
+    std::size_t off = 0;
+    for (std::size_t r = 0; r < counts.size(); ++r) {
+      all_samples_[r].assign(all.begin() + static_cast<long>(off),
+                             all.begin() + static_cast<long>(off + counts[r]));
+      off += counts[r];
+      for (std::size_t idx : all_samples_[r])
+        if (idx >= total_) throw std::out_of_range("InterfaceChannel: sample index");
+    }
+  }
+}
+
+void InterfaceChannel::send(const std::vector<double>& my_values) const {
+  if (my_values.size() != my_samples_.size())
+    throw std::invalid_argument("InterfaceChannel::send: value count mismatch");
+  // step 1: gather contributions on the L4 root
+  auto all = l4_.gatherv(std::span<const double>(my_values), 0);
+  if (l4_.rank() == 0) {
+    // assemble the canonical sample vector
+    std::vector<double> full(total_, 0.0);
+    std::size_t off = 0;
+    for (const auto& idxs : all_samples_) {
+      for (std::size_t k = 0; k < idxs.size(); ++k) full[idxs[k]] = all[off + k];
+      off += idxs.size();
+    }
+    // step 2: root-to-root over World
+    world_.send(peer_root_world_, tag_, full);
+  }
+}
+
+std::vector<double> InterfaceChannel::recv() const {
+  std::vector<std::vector<double>> parts;
+  if (l4_.rank() == 0) {
+    // step 2: root-to-root over World
+    auto full = world_.recv<double>(peer_root_world_, tag_);
+    if (full.size() != total_)
+      throw std::runtime_error("InterfaceChannel::recv: payload size mismatch");
+    parts.resize(all_samples_.size());
+    for (std::size_t r = 0; r < all_samples_.size(); ++r) {
+      parts[r].reserve(all_samples_[r].size());
+      for (std::size_t idx : all_samples_[r]) parts[r].push_back(full[idx]);
+    }
+  }
+  // step 3: scatter from the root
+  return l4_.scatterv(parts, 0);
+}
+
+DiscoveryResult discover_interface_owners(
+    const Mci& mci, int atomistic_task, const std::vector<double>& samples,
+    const std::function<bool(double, double, double)>& owns) {
+  DiscoveryResult out;
+  const bool am_l3_root = mci.l3.valid() && mci.l3.rank() == 0;
+  const bool am_atomistic = mci.task == atomistic_task;
+
+  // Everyone learns (task, l3 root world rank) pairs.
+  struct Info {
+    int task;
+    int world_rank;
+    int is_root;
+  };
+  std::vector<Info> mine = {{mci.task, mci.world.rank(), am_l3_root ? 1 : 0}};
+  auto infos = mci.world.allgatherv(std::span<const Info>(mine));
+
+  std::map<int, int> root_of_task;
+  for (const auto& inf : infos)
+    if (inf.is_root) root_of_task[inf.task] = inf.world_rank;
+
+  std::vector<int> continuum_tasks;
+  for (const auto& [task, root] : root_of_task)
+    if (task != atomistic_task) continuum_tasks.push_back(task);
+
+  // 1) atomistic L3 root -> each continuum L3 root: the sample coordinates
+  if (am_atomistic && am_l3_root) {
+    for (int task : continuum_tasks)
+      mci.world.send(root_of_task[task], kTagDiscoverySamples, samples);
+  }
+
+  if (!am_atomistic) {
+    // 2) continuum L3 root receives and broadcasts within its task
+    std::vector<double> pts;
+    if (am_l3_root)
+      pts = mci.world.recv<double>(root_of_task[atomistic_task], kTagDiscoverySamples);
+    mci.l3.bcast(pts, 0);
+
+    // 3) each rank claims the samples its partition owns
+    const std::size_t n = pts.size() / 3;
+    for (std::size_t k = 0; k < n; ++k)
+      if (owns(pts[3 * k], pts[3 * k + 1], pts[3 * k + 2])) out.my_claims.push_back(k);
+
+    // 4) gather claims on the task root; report to the atomistic root
+    auto merged = mci.l3.gatherv(std::span<const std::size_t>(out.my_claims), 0);
+    if (am_l3_root) {
+      std::sort(merged.begin(), merged.end());
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      mci.world.send(root_of_task[atomistic_task], kTagDiscoveryClaims, merged);
+    }
+  } else if (am_l3_root) {
+    // atomistic root collects every continuum task's claims
+    for (int task : continuum_tasks) {
+      auto claims = mci.world.recv<std::size_t>(root_of_task[task], kTagDiscoveryClaims);
+      if (!claims.empty()) out.task_claims.emplace_back(task, std::move(claims));
+    }
+    std::sort(out.task_claims.begin(), out.task_claims.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+  return out;
+}
+
+}  // namespace coupling

@@ -1,0 +1,47 @@
+#include "coupling/replica.hpp"
+
+#include <stdexcept>
+
+namespace coupling {
+
+ReplicaEnsemble::ReplicaEnsemble(const xmp::Comm& l3, int n_replicas) : l3_(l3), n_(n_replicas) {
+  if (n_replicas < 1 || n_replicas > l3.size())
+    throw std::invalid_argument("ReplicaEnsemble: bad replica count");
+  // contiguous blocks, distributing the remainder over the first groups
+  const int base = l3.size() / n_replicas;
+  const int rem = l3.size() % n_replicas;
+  const int r = l3.rank();
+  // ranks [0, (base+1)*rem) belong to the first `rem` groups of size base+1
+  const int cut = (base + 1) * rem;
+  rid_ = r < cut ? r / (base + 1) : rem + (r - cut) / base;
+  rep_ = l3.split(rid_, r);
+  roots_ = l3.split(rep_.rank() == 0 ? 0 : xmp::kUndefined, rid_);
+}
+
+std::vector<double> ReplicaEnsemble::distribute(std::vector<double> data) const {
+  if (roots_.valid()) roots_.bcast(data, 0);  // master root -> all replica roots
+  rep_.bcast(data, 0);                        // replica root -> replica members
+  return data;
+}
+
+std::vector<double> ReplicaEnsemble::gather_average(const std::vector<double>& mine) const {
+  std::vector<double> avg;
+  if (roots_.valid()) {
+    std::vector<std::size_t> counts;
+    auto all = roots_.gatherv(std::span<const double>(mine), 0, &counts);
+    if (roots_.rank() == 0) {
+      for (std::size_t c : counts)
+        if (c != mine.size())
+          throw std::runtime_error("ReplicaEnsemble: replica vector length mismatch");
+      avg.assign(mine.size(), 0.0);
+      for (std::size_t r = 0; r < counts.size(); ++r)
+        for (std::size_t i = 0; i < mine.size(); ++i) avg[i] += all[r * mine.size() + i];
+      for (double& v : avg) v /= static_cast<double>(n_);
+    }
+    roots_.bcast(avg, 0);
+  }
+  rep_.bcast(avg, 0);
+  return avg;
+}
+
+}  // namespace coupling

@@ -1,0 +1,50 @@
+#pragma once
+// Replica ensembles (paper Sec. 3.3, Fig. 6): DPD-LAMMPS can replicate the
+// atomistic domain and solve an array of identical problems with different
+// random forcing; averaging the replicas improves the statistics by
+// sqrt(N_A). To keep the continuum side unaware of the replication, the
+// atomistic L3 is split into N_A replica groups L3_j; the L4 group of L3_1
+// is the *master* that owns the single p2p channel to the continuum, and
+// broadcasts/gathers interface data to/from the slave replicas.
+
+#include <vector>
+
+#include "xmp/comm.hpp"
+
+namespace coupling {
+
+class ReplicaEnsemble {
+public:
+  /// Collective over the atomistic L3. Ranks are divided into n_replicas
+  /// contiguous groups (sizes as equal as possible).
+  ReplicaEnsemble(const xmp::Comm& l3, int n_replicas);
+
+  int num_replicas() const { return n_; }
+  int replica_id() const { return rid_; }
+  bool is_master_replica() const { return rid_ == 0; }
+  /// This rank's replica communicator (every rank belongs to exactly one).
+  const xmp::Comm& replica_comm() const { return rep_; }
+  /// True on the root rank of this replica.
+  bool is_replica_root() const { return rep_.rank() == 0; }
+  /// True on the rank that talks to the continuum side (master replica root).
+  bool is_ensemble_root() const { return rid_ == 0 && rep_.rank() == 0; }
+
+  /// Fan interface data out to every replica: `data` significant on the
+  /// ensemble root; every rank returns a copy (root-to-root bcast over the
+  /// roots group, then intra-replica bcast).
+  std::vector<double> distribute(std::vector<double> data) const;
+
+  /// Average equal-length per-replica vectors: each replica root contributes
+  /// `mine`; every rank returns the ensemble average (gathered on the
+  /// ensemble root, averaged, redistributed).
+  std::vector<double> gather_average(const std::vector<double>& mine) const;
+
+private:
+  xmp::Comm l3_;
+  xmp::Comm rep_;    ///< my replica group
+  xmp::Comm roots_;  ///< all replica roots (invalid on non-root ranks)
+  int n_ = 1;
+  int rid_ = 0;
+};
+
+}  // namespace coupling

@@ -1,0 +1,65 @@
+#pragma once
+// Unit scaling between the continuum (NS) and atomistic (DPD) descriptions
+// (paper Sec. 3.3): each solver runs in its own units; gluing them requires
+// matching the non-dimensional groups (Reynolds, Womersley). Velocity obeys
+// Eq. (1):
+//     v_DPD = v_NS * (L_NS / L_DPD) * (nu_DPD / nu_NS)
+// and times scale as t ~ L^2 / nu.
+
+#include <cmath>
+#include <stdexcept>
+
+namespace coupling {
+
+struct ScaleMap {
+  /// Numeric size of the shared characteristic feature (e.g. the vessel
+  /// diameter) expressed in each solver's own units. In the paper, one NS
+  /// unit is 1 mm and one DPD unit is 5 um, so a 0.5 mm vessel has
+  /// L_ns = 0.5 and L_dpd = 100.
+  double L_ns = 1.0;
+  double L_dpd = 1.0;
+  double nu_ns = 1.0;   ///< kinematic viscosity in NS units
+  double nu_dpd = 1.0;  ///< kinematic viscosity in DPD units
+
+  /// Eq. (1): velocity from NS units to DPD units. With these definitions
+  /// the Reynolds number v L / nu of the shared feature is identical in
+  /// both descriptions.
+  double velocity_ns_to_dpd(double v_ns) const {
+    return v_ns * (L_ns / L_dpd) * (nu_dpd / nu_ns);
+  }
+  double velocity_dpd_to_ns(double v_dpd) const {
+    return v_dpd * (L_dpd / L_ns) * (nu_ns / nu_dpd);
+  }
+
+  /// Unit-time ratio implied by t ~ L^2 / nu: how many DPD time units one
+  /// NS time unit represents for the shared feature.
+  double time_ratio() const {
+    return (L_dpd * L_dpd / nu_dpd) / (L_ns * L_ns / nu_ns);
+  }
+
+  /// Reynolds number of the shared feature, computed in each description;
+  /// equal by construction of Eq. (1).
+  double reynolds_ns(double v_ns) const { return v_ns * L_ns / nu_ns; }
+  double reynolds_dpd(double v_ns) const {
+    return velocity_ns_to_dpd(v_ns) * L_dpd / nu_dpd;
+  }
+
+  void validate() const {
+    if (L_ns <= 0 || L_dpd <= 0 || nu_ns <= 0 || nu_dpd <= 0)
+      throw std::invalid_argument("ScaleMap: non-positive scale");
+  }
+};
+
+/// Time-progression bookkeeping (paper Fig. 5): dt_NS = ns_substeps_per_dpd *
+/// dt_DPD in physical time; solvers exchange BCs every tau = exchange_every
+/// NS steps.
+struct TimeProgression {
+  double dt_ns = 1e-3;        ///< NS step (NS time units)
+  int dpd_per_ns = 20;        ///< DPD steps per one NS step
+  int exchange_every_ns = 10; ///< NS steps between BC exchanges
+
+  int dpd_steps_per_exchange() const { return dpd_per_ns * exchange_every_ns; }
+  double tau_ns() const { return dt_ns * exchange_every_ns; }
+};
+
+}  // namespace coupling

@@ -1,0 +1,67 @@
+#include "dpd/bonds.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dpd {
+
+void BondSet::add_forces(DpdSystem& sys) {
+  auto& pos = sys.positions();
+  auto& frc = sys.forces();
+  for (const Bond& b : bonds_) {
+    const Vec3 dr = sys.min_image(pos[b.i], pos[b.j]);  // i -> j
+    const double r = dr.norm();
+    if (r < 1e-12) continue;
+    const double f = b.k * (r - b.r0);  // >0: stretched, pull together
+    const Vec3 er = dr * (1.0 / r);
+    frc[b.i] += er * f;
+    frc[b.j] -= er * f;
+  }
+}
+
+void BondSet::on_remap(const std::vector<long>& new_index) {
+  std::vector<Bond> kept;
+  kept.reserve(bonds_.size());
+  for (const Bond& b : bonds_) {
+    const long ni = new_index[b.i], nj = new_index[b.j];
+    if (ni < 0 || nj < 0) continue;  // bonded partner removed: drop the bond
+    kept.push_back({static_cast<std::size_t>(ni), static_cast<std::size_t>(nj), b.r0, b.k});
+  }
+  bonds_ = std::move(kept);
+}
+
+double BondSet::max_strain(const DpdSystem& sys) const {
+  double m = 0.0;
+  for (const Bond& b : bonds_) {
+    const double r = sys.min_image(sys.positions()[b.i], sys.positions()[b.j]).norm();
+    m = std::max(m, std::fabs(r - b.r0) / b.r0);
+  }
+  return m;
+}
+
+std::vector<std::size_t> make_rbc_ring(DpdSystem& sys, BondSet& bonds,
+                                       const RbcRingParams& p) {
+  if (p.beads < 4) throw std::invalid_argument("make_rbc_ring: need >= 4 beads");
+  std::vector<std::size_t> idx;
+  idx.reserve(static_cast<std::size_t>(p.beads));
+  for (int k = 0; k < p.beads; ++k) {
+    const double th = 2.0 * M_PI * k / p.beads;
+    Vec3 q = p.center;
+    switch (p.plane) {
+      case 0: q.x += p.radius * std::cos(th); q.y += p.radius * std::sin(th); break;
+      case 1: q.x += p.radius * std::cos(th); q.z += p.radius * std::sin(th); break;
+      default: q.y += p.radius * std::cos(th); q.z += p.radius * std::sin(th); break;
+    }
+    idx.push_back(sys.add_particle(q, {}, kRbcBead));
+  }
+  const double r1 = 2.0 * p.radius * std::sin(M_PI / p.beads);      // neighbour distance
+  const double r2 = 2.0 * p.radius * std::sin(2.0 * M_PI / p.beads);  // 2nd neighbour
+  const auto n = static_cast<std::size_t>(p.beads);
+  for (std::size_t k = 0; k < n; ++k) {
+    bonds.add_bond(idx[k], idx[(k + 1) % n], r1, p.k_spring);
+    bonds.add_bond(idx[k], idx[(k + 2) % n], r2, p.k_bend);
+  }
+  return idx;
+}
+
+}  // namespace dpd

@@ -1,0 +1,53 @@
+#pragma once
+// Bonded interactions for coarse-grained blood cells: harmonic springs
+// between beads, with second-neighbour ("bending") springs stiffening the
+// contour. make_rbc_ring() builds the paper's coarse RBC representation:
+// a closed bead-spring ring (the 2D cross-section of the spectrin-network
+// membrane models used in DPD blood simulations).
+
+#include <vector>
+
+#include "dpd/system.hpp"
+
+namespace dpd {
+
+struct Bond {
+  std::size_t i = 0, j = 0;
+  double r0 = 0.5;  ///< rest length
+  double k = 50.0;  ///< spring stiffness
+};
+
+class BondSet final : public ForceModule {
+public:
+  void add_bond(std::size_t i, std::size_t j, double r0, double k) {
+    bonds_.push_back({i, j, r0, k});
+  }
+  std::size_t size() const { return bonds_.size(); }
+  const std::vector<Bond>& bonds() const { return bonds_; }
+
+  void add_forces(DpdSystem& sys) override;
+  void on_remap(const std::vector<long>& new_index) override;
+
+  /// Max |r - r0| / r0 over all bonds (integrity diagnostic).
+  double max_strain(const DpdSystem& sys) const;
+
+private:
+  std::vector<Bond> bonds_;
+};
+
+struct RbcRingParams {
+  Vec3 center{};
+  double radius = 2.0;
+  int beads = 16;
+  double k_spring = 100.0;  ///< neighbour spring stiffness
+  double k_bend = 25.0;     ///< second-neighbour (bending) stiffness
+  /// Ring plane: 0 = xy, 1 = xz, 2 = yz.
+  int plane = 1;
+};
+
+/// Insert an RBC ring into the system and register its bonds on `bonds`.
+/// Returns the bead indices.
+std::vector<std::size_t> make_rbc_ring(DpdSystem& sys, BondSet& bonds,
+                                       const RbcRingParams& p);
+
+}  // namespace dpd

@@ -1,0 +1,43 @@
+#include "dpd/buffers.hpp"
+
+namespace dpd {
+
+void BufferZones::set_shared_target(const std::function<Vec3(const Vec3&)>& field) {
+  for (auto& w : windows_) w.target = field;
+}
+
+void BufferZones::apply(DpdSystem& sys) const {
+  auto& pos = sys.positions();
+  auto& vel = sys.velocities();
+  for (const auto& w : windows_) {
+    if (!w.target) continue;
+    for (std::size_t i = 0; i < sys.size(); ++i) {
+      if (sys.frozen()[i] || !inside(w, pos[i])) continue;
+      const Vec3 vt = w.target(pos[i]);
+      vel[i] += (vt - vel[i]) * w.relax;
+    }
+  }
+}
+
+std::size_t BufferZones::count_inside(const DpdSystem& sys, std::size_t k) const {
+  const auto& w = windows_[k];
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < sys.size(); ++i)
+    if (inside(w, sys.positions()[i])) ++c;
+  return c;
+}
+
+double BufferZones::mismatch(const DpdSystem& sys, std::size_t k) const {
+  const auto& w = windows_[k];
+  if (!w.target) return 0.0;
+  double acc = 0.0;
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    if (!inside(w, sys.positions()[i])) continue;
+    acc += (sys.velocities()[i] - w.target(sys.positions()[i])).norm();
+    ++c;
+  }
+  return c ? acc / static_cast<double>(c) : 0.0;
+}
+
+}  // namespace dpd

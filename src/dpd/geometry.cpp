@@ -1,0 +1,30 @@
+#include "dpd/geometry.hpp"
+
+#include <algorithm>
+
+namespace dpd {
+
+Vec3 Geometry::normal(const Vec3& p) const {
+  const double h = 1e-6;
+  Vec3 n{(sdf({p.x + h, p.y, p.z}) - sdf({p.x - h, p.y, p.z})) / (2 * h),
+         (sdf({p.x, p.y + h, p.z}) - sdf({p.x, p.y - h, p.z})) / (2 * h),
+         (sdf({p.x, p.y, p.z + h}) - sdf({p.x, p.y, p.z - h})) / (2 * h)};
+  const double nn = n.norm();
+  if (nn < 1e-12) return {0, 0, 1};
+  return n * (1.0 / nn);
+}
+
+double ChannelWithCavityZ::sdf(const Vec3& p) const {
+  // Fluid region = channel slab  U  cavity box.
+  // SDF of the union = max of the member SDFs (exact inside, approximate
+  // near concave corners, which suffices for boundary forces).
+  const double slab = std::min(p.z, H_ - p.z);
+  // cavity box: x in (x0, x1), z in (H, H + depth) -- open to the channel
+  // from below, so extend the box downwards to overlap the slab
+  const double bx = std::min(p.x - x0_, x1_ - p.x);
+  const double bz = std::min(p.z, H_ + depth_ - p.z);
+  const double box = std::min(bx, bz);
+  return std::max(slab, box);
+}
+
+}  // namespace dpd

@@ -1,0 +1,83 @@
+#pragma once
+// Wall geometry for non-periodic DPD domains (paper Sec. 3: "The main
+// challenge here is in imposing non-periodic boundary conditions for
+// unsteady flows in complex geometries... we impose effective boundary
+// forces Feff on the particles near boundaries that represent solid walls").
+//
+// Geometry is described by a signed distance function (positive inside the
+// fluid). Walls act on nearby particles through (a) a repulsive effective
+// boundary force within one cutoff of the wall and (b) bounce-back
+// reflection of particles that penetrate, which together enforce no-slip
+// and no-penetration (Lei, Fedosov & Karniadakis 2011).
+
+#include <functional>
+#include <memory>
+
+#include "dpd/types.hpp"
+
+namespace dpd {
+
+class Geometry {
+public:
+  virtual ~Geometry() = default;
+
+  /// Signed distance to the nearest wall: > 0 in the fluid, < 0 inside the
+  /// wall. Must be accurate within ~2 cutoffs of the boundary.
+  virtual double sdf(const Vec3& p) const = 0;
+
+  /// Inward normal (gradient of sdf); default: finite differences.
+  virtual Vec3 normal(const Vec3& p) const;
+};
+
+/// Everything is fluid (fully periodic test boxes).
+class NoWalls final : public Geometry {
+public:
+  double sdf(const Vec3&) const override { return 1e30; }
+};
+
+/// Channel of height H: fluid for 0 < z < H (x, y unbounded/periodic).
+class ChannelZ final : public Geometry {
+public:
+  explicit ChannelZ(double H) : H_(H) {}
+  double sdf(const Vec3& p) const override { return std::min(p.z, H_ - p.z); }
+  Vec3 normal(const Vec3& p) const override {
+    return p.z < 0.5 * H_ ? Vec3{0, 0, 1} : Vec3{0, 0, -1};
+  }
+
+private:
+  double H_;
+};
+
+/// Circular pipe of radius R along x (used by the Fig. 8 pipe-flow bench).
+class PipeX final : public Geometry {
+public:
+  PipeX(double R, double cy, double cz) : R_(R), cy_(cy), cz_(cz) {}
+  double sdf(const Vec3& p) const override {
+    const double r = std::hypot(p.y - cy_, p.z - cz_);
+    return R_ - r;
+  }
+  Vec3 normal(const Vec3& p) const override {
+    const double dy = p.y - cy_, dz = p.z - cz_;
+    const double r = std::hypot(dy, dz);
+    if (r < 1e-12) return {0, 0, 1};
+    return {0.0, -dy / r, -dz / r};
+  }
+
+private:
+  double R_, cy_, cz_;
+};
+
+/// Channel 0 < z < H with a rectangular aneurysm-like cavity bulging above
+/// it: fluid also for x in (x0, x1), H <= z < H + depth. The 3D counterpart
+/// of mesh::QuadMesh::channel_with_cavity (y unbounded/periodic).
+class ChannelWithCavityZ final : public Geometry {
+public:
+  ChannelWithCavityZ(double H, double x0, double x1, double depth)
+      : H_(H), x0_(x0), x1_(x1), depth_(depth) {}
+  double sdf(const Vec3& p) const override;
+
+private:
+  double H_, x0_, x1_, depth_;
+};
+
+}  // namespace dpd

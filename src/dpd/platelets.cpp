@@ -1,0 +1,142 @@
+#include "dpd/platelets.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dpd {
+
+PlateletModel::PlateletModel(PlateletParams p) : prm_(std::move(p)) {
+  if (!prm_.adhesive_region)
+    prm_.adhesive_region = [](const Vec3&) { return true; };
+}
+
+void PlateletModel::add_platelet(std::size_t particle_index) {
+  particles_.push_back(particle_index);
+  state_.push_back(PlateletState::Passive);
+  trigger_time_.push_back(-1.0);
+}
+
+void PlateletModel::seed_platelets(DpdSystem& sys, std::size_t count, unsigned seed) {
+  std::mt19937 rng(seed);
+  const auto& box = sys.params().box;
+  std::uniform_real_distribution<double> ux(0.0, box.x), uy(0.0, box.y), uz(0.0, box.z);
+  std::normal_distribution<double> th(0.0, std::sqrt(sys.params().kBT));
+  std::size_t placed = 0, attempts = 0;
+  while (placed < count && attempts < 1000 * count) {
+    ++attempts;
+    Vec3 p{ux(rng), uy(rng), uz(rng)};
+    if (sys.geometry().sdf(p) < 1.0) continue;
+    add_platelet(sys.add_particle(p, {th(rng), th(rng), th(rng)}, kPlatelet));
+    ++placed;
+  }
+  if (placed < count) throw std::runtime_error("seed_platelets: domain too small");
+}
+
+void PlateletModel::add_forces(DpdSystem& sys) {
+  auto& pos = sys.positions();
+  auto& frc = sys.forces();
+  const std::size_t np = particles_.size();
+
+  // platelet-platelet adhesion (Active/Bound only); O(np^2) is fine at the
+  // platelet counts used here (they are ~0.1% of particles, as in blood)
+  for (std::size_t a = 0; a < np; ++a) {
+    if (state_[a] != PlateletState::Active && state_[a] != PlateletState::Bound) continue;
+    for (std::size_t b = a + 1; b < np; ++b) {
+      if (state_[b] != PlateletState::Active && state_[b] != PlateletState::Bound) continue;
+      const std::size_t i = particles_[a], j = particles_[b];
+      const Vec3 dr = sys.min_image(pos[i], pos[j]);
+      const double r = dr.norm();
+      if (r > prm_.adhesion_cutoff || r < 1e-9) continue;
+      // Morse force magnitude (positive = attraction towards r0)
+      const double e = std::exp(-prm_.morse_beta * (r - prm_.morse_r0));
+      const double f = 2.0 * prm_.morse_D * prm_.morse_beta * (e * e - e);
+      // f > 0 for r < r0 (repulsion), f < 0 for r > r0 (attraction):
+      // force on i along -er scaled by f
+      const Vec3 er = dr * (1.0 / r);
+      frc[i] -= er * f;
+      frc[j] += er * f;
+    }
+  }
+
+  // active platelets are pulled towards adhesive wall regions
+  for (std::size_t a = 0; a < np; ++a) {
+    if (state_[a] != PlateletState::Active) continue;
+    const std::size_t i = particles_[a];
+    if (!prm_.adhesive_region(pos[i])) continue;
+    const double d = sys.geometry().sdf(pos[i]);
+    if (d > prm_.adhesion_cutoff) continue;
+    frc[i] -= sys.geometry().normal(pos[i]) * prm_.wall_pull;
+  }
+}
+
+void PlateletModel::on_remap(const std::vector<long>& new_index) {
+  std::vector<std::size_t> np_;
+  std::vector<PlateletState> ns_;
+  std::vector<double> nt_;
+  for (std::size_t k = 0; k < particles_.size(); ++k) {
+    const long ni = new_index[particles_[k]];
+    if (ni < 0) continue;
+    np_.push_back(static_cast<std::size_t>(ni));
+    ns_.push_back(state_[k]);
+    nt_.push_back(trigger_time_[k]);
+  }
+  particles_ = std::move(np_);
+  state_ = std::move(ns_);
+  trigger_time_ = std::move(nt_);
+}
+
+void PlateletModel::update(DpdSystem& sys) {
+  const double t = sys.time();
+  auto& pos = sys.positions();
+  auto& vel = sys.velocities();
+  for (std::size_t k = 0; k < particles_.size(); ++k) {
+    const std::size_t i = particles_[k];
+    switch (state_[k]) {
+      case PlateletState::Passive:
+        if (prm_.adhesive_region(pos[i]) &&
+            sys.geometry().sdf(pos[i]) < prm_.trigger_distance) {
+          state_[k] = PlateletState::Triggered;
+          trigger_time_[k] = t;
+        }
+        break;
+      case PlateletState::Triggered:
+        if (t - trigger_time_[k] >= prm_.activation_delay)
+          state_[k] = PlateletState::Active;
+        break;
+      case PlateletState::Active: {
+        const double speed = vel[i].norm();
+        bool arrest = false;
+        if (prm_.adhesive_region(pos[i]) &&
+            sys.geometry().sdf(pos[i]) < prm_.bind_distance && speed < prm_.bind_speed)
+          arrest = true;
+        if (!arrest && speed < prm_.bind_speed) {
+          // arrest onto an already-bound platelet (thrombus growth)
+          for (std::size_t b = 0; b < particles_.size(); ++b) {
+            if (state_[b] != PlateletState::Bound) continue;
+            if (sys.min_image(pos[i], pos[particles_[b]]).norm() < prm_.bind_distance) {
+              arrest = true;
+              break;
+            }
+          }
+        }
+        if (arrest) {
+          state_[k] = PlateletState::Bound;
+          sys.frozen()[i] = 1;
+          vel[i] = {};
+        }
+        break;
+      }
+      case PlateletState::Bound:
+        break;
+    }
+  }
+}
+
+std::size_t PlateletModel::count(PlateletState s) const {
+  std::size_t c = 0;
+  for (PlateletState st : state_)
+    if (st == s) ++c;
+  return c;
+}
+
+}  // namespace dpd

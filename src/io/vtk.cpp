@@ -1,0 +1,123 @@
+#include "io/vtk.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace io {
+
+namespace {
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("io: cannot open " + path);
+  return f;
+}
+}  // namespace
+
+void write_sem_vtk(const std::string& path, const sem::Discretization& disc,
+                   const std::map<std::string, const la::Vector*>& fields) {
+  for (const auto& [name, v] : fields)
+    if (!v || v->size() != disc.num_nodes())
+      throw std::invalid_argument("write_sem_vtk: field size mismatch for " + name);
+
+  auto f = open_or_throw(path);
+  f << "# vtk DataFile Version 3.0\n"
+    << "NektarG SEM fields\nASCII\nDATASET UNSTRUCTURED_GRID\n";
+
+  f << "POINTS " << disc.num_nodes() << " double\n";
+  for (std::size_t g = 0; g < disc.num_nodes(); ++g)
+    f << disc.node_x(g) << " " << disc.node_y(g) << " 0\n";
+
+  const int P = disc.order();
+  const std::size_t cells_per_elem = static_cast<std::size_t>(P) * P;
+  const std::size_t ncells = disc.num_elements() * cells_per_elem;
+  f << "CELLS " << ncells << " " << 5 * ncells << "\n";
+  for (std::size_t e = 0; e < disc.num_elements(); ++e)
+    for (int b = 0; b < P; ++b)
+      for (int a = 0; a < P; ++a)
+        f << "4 " << disc.global_node(e, a, b) << " " << disc.global_node(e, a + 1, b) << " "
+          << disc.global_node(e, a + 1, b + 1) << " " << disc.global_node(e, a, b + 1)
+          << "\n";
+  f << "CELL_TYPES " << ncells << "\n";
+  for (std::size_t c = 0; c < ncells; ++c) f << "9\n";  // VTK_QUAD
+
+  f << "POINT_DATA " << disc.num_nodes() << "\n";
+  for (const auto& [name, v] : fields) {
+    f << "SCALARS " << name << " double 1\nLOOKUP_TABLE default\n";
+    for (std::size_t g = 0; g < disc.num_nodes(); ++g) f << (*v)[g] << "\n";
+  }
+  if (!f) throw std::runtime_error("io: write failed for " + path);
+}
+
+void write_dpd_vtk(const std::string& path, const dpd::DpdSystem& sys,
+                   const dpd::PlateletModel* platelets) {
+  auto f = open_or_throw(path);
+  const std::size_t n = sys.size();
+  f << "# vtk DataFile Version 3.0\n"
+    << "NektarG DPD particles\nASCII\nDATASET POLYDATA\n";
+  f << "POINTS " << n << " double\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& p = sys.positions()[i];
+    f << p.x << " " << p.y << " " << p.z << "\n";
+  }
+  f << "VERTICES " << n << " " << 2 * n << "\n";
+  for (std::size_t i = 0; i < n; ++i) f << "1 " << i << "\n";
+
+  f << "POINT_DATA " << n << "\n";
+  f << "VECTORS velocity double\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& v = sys.velocities()[i];
+    f << v.x << " " << v.y << " " << v.z << "\n";
+  }
+  f << "SCALARS species int 1\nLOOKUP_TABLE default\n";
+  for (std::size_t i = 0; i < n; ++i) f << static_cast<int>(sys.species()[i]) << "\n";
+
+  if (platelets) {
+    std::vector<int> state(n, -1);
+    for (std::size_t k = 0; k < platelets->total(); ++k)
+      state[platelets->particles()[k]] = static_cast<int>(platelets->state_of(k));
+    f << "SCALARS platelet_state int 1\nLOOKUP_TABLE default\n";
+    for (std::size_t i = 0; i < n; ++i) f << state[i] << "\n";
+  }
+  if (!f) throw std::runtime_error("io: write failed for " + path);
+}
+
+void write_network_vtk(const std::string& path, const nektar1d::ArterialNetwork& net) {
+  auto f = open_or_throw(path);
+  std::size_t total_nodes = 0;
+  for (std::size_t v = 0; v < net.num_vessels(); ++v)
+    total_nodes += net.vessel(static_cast<int>(v)).num_nodes();
+
+  f << "# vtk DataFile Version 3.0\n"
+    << "NektarG 1D arterial network\nASCII\nDATASET POLYDATA\n";
+  f << "POINTS " << total_nodes << " double\n";
+  for (std::size_t v = 0; v < net.num_vessels(); ++v) {
+    const auto& a = net.vessel(static_cast<int>(v));
+    for (std::size_t k = 0; k < a.num_nodes(); ++k)
+      f << a.x_of(k) << " " << 2.0 * static_cast<double>(v) << " 0\n";
+  }
+  f << "LINES " << net.num_vessels() << " " << total_nodes + net.num_vessels() << "\n";
+  std::size_t off = 0;
+  for (std::size_t v = 0; v < net.num_vessels(); ++v) {
+    const auto& a = net.vessel(static_cast<int>(v));
+    f << a.num_nodes();
+    for (std::size_t k = 0; k < a.num_nodes(); ++k) f << " " << off + k;
+    f << "\n";
+    off += a.num_nodes();
+  }
+
+  f << "POINT_DATA " << total_nodes << "\n";
+  f << "SCALARS area double 1\nLOOKUP_TABLE default\n";
+  for (std::size_t v = 0; v < net.num_vessels(); ++v)
+    for (double A : net.vessel(static_cast<int>(v)).A()) f << A << "\n";
+  f << "SCALARS velocity double 1\nLOOKUP_TABLE default\n";
+  for (std::size_t v = 0; v < net.num_vessels(); ++v)
+    for (double U : net.vessel(static_cast<int>(v)).U()) f << U << "\n";
+  f << "SCALARS pressure double 1\nLOOKUP_TABLE default\n";
+  for (std::size_t v = 0; v < net.num_vessels(); ++v) {
+    const auto& a = net.vessel(static_cast<int>(v));
+    for (double A : a.A()) f << a.pressure(A) << "\n";
+  }
+  if (!f) throw std::runtime_error("io: write failed for " + path);
+}
+
+}  // namespace io

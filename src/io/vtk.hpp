@@ -1,0 +1,44 @@
+#pragma once
+// Multiscale visualization output (the paper lists "multiscale
+// visualization" among its key contributions): legacy-VTK writers for the
+// three descriptions so one ParaView session can show the continuum fields,
+// the atomistic particles, and the 1D network side by side.
+//
+//  * SEM fields      -> unstructured grid of GLL sub-quads with point data,
+//  * DPD particles   -> polydata vertices with velocity / species / state,
+//  * 1D network      -> polylines with area / velocity / pressure per node.
+//
+// Plain ASCII legacy format: trivially diffable in tests, loadable
+// everywhere.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dpd/platelets.hpp"
+#include "dpd/system.hpp"
+#include "la/vector.hpp"
+#include "nektar1d/network.hpp"
+#include "sem/discretization.hpp"
+
+namespace io {
+
+/// Write scalar nodal fields on a SEM discretization. Each spectral element
+/// is tessellated into P x P bilinear cells through its GLL nodes, so the
+/// high-order solution is faithfully sampled. Throws on I/O failure or
+/// field-size mismatch.
+void write_sem_vtk(const std::string& path, const sem::Discretization& disc,
+                   const std::map<std::string, const la::Vector*>& fields);
+
+/// Write DPD particles as VTK polydata vertices with velocity vectors and
+/// species ids; if `platelets` is non-null, a platelet_state array is added
+/// (-1 for non-platelet particles).
+void write_dpd_vtk(const std::string& path, const dpd::DpdSystem& sys,
+                   const dpd::PlateletModel* platelets = nullptr);
+
+/// Write a 1D arterial network as polylines (one per vessel) laid out
+/// along x with vessel index as y offset (topology-true coordinates are not
+/// stored by the solver), with A, U, p point data.
+void write_network_vtk(const std::string& path, const nektar1d::ArterialNetwork& net);
+
+}  // namespace io

@@ -1,0 +1,93 @@
+#include "la/csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "la/simd.hpp"
+
+namespace la {
+
+CsrMatrix CsrMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                   std::vector<std::size_t> is, std::vector<std::size_t> js,
+                                   std::vector<double> vs) {
+  if (is.size() != js.size() || js.size() != vs.size())
+    throw std::invalid_argument("from_triplets: ragged input");
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+
+  std::vector<std::size_t> order(is.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return is[a] != is[b] ? is[a] < is[b] : js[a] < js[b];
+  });
+
+  m.rowptr.assign(rows + 1, 0);
+  std::size_t last_i = rows, last_j = cols;  // sentinel: no previous entry
+  for (std::size_t k : order) {
+    if (is[k] >= rows || js[k] >= cols) throw std::out_of_range("from_triplets: index");
+    if (is[k] == last_i && js[k] == last_j) {
+      m.val.back() += vs[k];  // merge duplicate
+      continue;
+    }
+    m.colidx.push_back(js[k]);
+    m.val.push_back(vs[k]);
+    m.rowptr[is[k] + 1]++;
+    last_i = is[k];
+    last_j = js[k];
+  }
+  for (std::size_t i = 0; i < rows; ++i) m.rowptr[i + 1] += m.rowptr[i];
+  return m;
+}
+
+void CsrMatrix::matvec(const double* x, double* y) const {
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (std::size_t k = rowptr[i]; k < rowptr[i + 1]; ++k) s += val[k] * x[colidx[k]];
+    y[i] = s;
+  }
+}
+
+Vector CsrMatrix::matvec(const Vector& x) const {
+  if (x.size() != cols_) throw std::invalid_argument("csr matvec: size mismatch");
+  Vector y(rows_);
+  matvec(x.data(), y.data());
+  return y;
+}
+
+Vector CsrMatrix::diagonal() const {
+  Vector d(std::min(rows_, cols_));
+  for (std::size_t i = 0; i < d.size(); ++i)
+    for (std::size_t k = rowptr[i]; k < rowptr[i + 1]; ++k)
+      if (colidx[k] == i) d[i] = val[k];
+  return d;
+}
+
+void BlockCsr::append_block(std::size_t i, std::size_t j, const DenseMatrix& blk) {
+  if (blk.rows() != b_ || blk.cols() != b_) throw std::invalid_argument("append_block: size");
+  if (i < cur_row_) throw std::invalid_argument("append_block: rows must be non-decreasing");
+  while (cur_row_ < i) finish_row(cur_row_);
+  colidx.push_back(j);
+  blocks.insert(blocks.end(), blk.data(), blk.data() + b_ * b_);
+  rowptr[i + 1] = colidx.size();
+}
+
+void BlockCsr::finish_row(std::size_t i) {
+  rowptr[i + 1] = std::max(rowptr[i + 1], rowptr[i]);
+  cur_row_ = i + 1;
+}
+
+void BlockCsr::matvec(const double* x, double* y) const {
+  for (std::size_t i = 0; i < brows_; ++i) {
+    double* yi = y + i * b_;
+    for (std::size_t r = 0; r < b_; ++r) yi[r] = 0.0;
+    for (std::size_t k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+      const double* blk = blocks.data() + k * b_ * b_;
+      const double* xj = x + colidx[k] * b_;
+      for (std::size_t r = 0; r < b_; ++r) yi[r] += simd::dot(blk + r * b_, xj, b_);
+    }
+  }
+}
+
+}  // namespace la

@@ -1,0 +1,71 @@
+#pragma once
+// Compressed-sparse-row matrix. The paper's hot communication-intensive
+// routine is a parallel block-sparse matrix-vector multiply (Sec. 3.5); the
+// serial compute half of that routine is this matvec, and the block variant
+// (BlockCsr) mirrors the per-element dense blocks of an SEM stiffness
+// operator.
+
+#include <cstddef>
+#include <vector>
+
+#include "la/dense.hpp"
+#include "la/vector.hpp"
+
+namespace la {
+
+class CsrMatrix {
+public:
+  CsrMatrix() = default;
+
+  /// Build from triplets; duplicate (i,j) entries are summed.
+  static CsrMatrix from_triplets(std::size_t rows, std::size_t cols,
+                                 std::vector<std::size_t> is, std::vector<std::size_t> js,
+                                 std::vector<double> vs);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return val.size(); }
+
+  void matvec(const double* x, double* y) const;
+  Vector matvec(const Vector& x) const;
+
+  /// Diagonal entries (0 where absent) — Jacobi preconditioner input.
+  Vector diagonal() const;
+
+  std::vector<std::size_t> rowptr;
+  std::vector<std::size_t> colidx;
+  std::vector<double> val;
+
+private:
+  std::size_t rows_ = 0, cols_ = 0;
+};
+
+/// Block-sparse matrix: a CSR-like structure whose entries are dense
+/// b x b blocks. Models the elemental structure of SEM operators.
+class BlockCsr {
+public:
+  BlockCsr(std::size_t block_rows, std::size_t block_cols, std::size_t b)
+      : rowptr(block_rows + 1, 0), brows_(block_rows), bcols_(block_cols), b_(b) {}
+
+  std::size_t block_rows() const { return brows_; }
+  std::size_t block_cols() const { return bcols_; }
+  std::size_t block_size() const { return b_; }
+  std::size_t rows() const { return brows_ * b_; }
+  std::size_t cols() const { return bcols_ * b_; }
+
+  /// Append a block to row i; rows must be appended in increasing order.
+  void append_block(std::size_t i, std::size_t j, const DenseMatrix& blk);
+  void finish_row(std::size_t i);
+
+  void matvec(const double* x, double* y) const;
+
+  std::vector<std::size_t> rowptr;
+  std::vector<std::size_t> colidx;
+  std::vector<double> blocks;  // b*b doubles per block, row-major
+
+private:
+  std::size_t brows_, bcols_, b_;
+  std::size_t cur_row_ = 0;
+};
+
+}  // namespace la

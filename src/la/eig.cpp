@@ -1,0 +1,74 @@
+#include "la/eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace la {
+
+EigResult eig_symmetric(const DenseMatrix& A0, double tol, std::size_t max_sweeps) {
+  const std::size_t n = A0.rows();
+  if (A0.cols() != n) throw std::invalid_argument("eig_symmetric: not square");
+
+  DenseMatrix A = A0;
+  DenseMatrix V = DenseMatrix::identity(n);
+
+  EigResult out;
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) off += A(i, j) * A(i, j);
+    off = std::sqrt(2.0 * off);
+    out.sweeps = sweep;
+    if (off <= tol * std::max(1.0, A.frobenius())) {
+      out.converged = true;
+      break;
+    }
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = A(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double theta = (A(q, q) - A(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = A(k, p), akq = A(k, q);
+          A(k, p) = c * akp - s * akq;
+          A(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = A(p, k), aqk = A(q, k);
+          A(p, k) = c * apk - s * aqk;
+          A(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = V(k, p), vkq = V(k, q);
+          V(k, p) = c * vkp - s * vkq;
+          V(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // sort descending by eigenvalue
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return A(a, a) > A(b, b); });
+
+  out.values.resize(n);
+  out.vecs = DenseMatrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.values[k] = A(order[k], order[k]);
+    for (std::size_t i = 0; i < n; ++i) out.vecs(i, k) = V(i, order[k]);
+  }
+  return out;
+}
+
+}  // namespace la

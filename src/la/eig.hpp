@@ -1,0 +1,25 @@
+#pragma once
+// Symmetric eigensolver (cyclic Jacobi rotations). WPOD's method of
+// snapshots builds a small dense correlation matrix (Nsnap x Nsnap) whose
+// full eigen-decomposition we need; Jacobi is simple, robust, and accurate
+// for that size range (<= a few hundred).
+
+#include <cstddef>
+
+#include "la/dense.hpp"
+#include "la/vector.hpp"
+
+namespace la {
+
+struct EigResult {
+  Vector values;     ///< eigenvalues, sorted descending
+  DenseMatrix vecs;  ///< column k is the eigenvector of values[k]
+  std::size_t sweeps = 0;
+  bool converged = false;
+};
+
+/// Full eigen-decomposition of a symmetric matrix.
+EigResult eig_symmetric(const DenseMatrix& A, double tol = 1e-12,
+                        std::size_t max_sweeps = 64);
+
+}  // namespace la

@@ -1,0 +1,44 @@
+#pragma once
+// SIMD-tuned basic kernels (paper Sec. 3.5, Table 1).
+//
+// The paper SIMDizes three representative routines on Cray XT5 (SSE) and
+// BG/P (Double Hummer):
+//   z[i] = x[i] * y[i]
+//   a    = sum_i x[i] * y[i] * z[i]
+//   a    = sum_i x[i] * y[i] * y[i]
+// Here each kernel has a deliberately scalar reference implementation and a
+// vectorised implementation (AVX2+FMA on x86-64); dispatch() picks the best
+// supported one at runtime. bench/table1_simd measures the speedup ratio.
+
+#include <cstddef>
+
+namespace la::simd {
+
+/// Which implementation the kernels below will use.
+enum class Isa { Scalar, Avx2 };
+
+/// Best instruction set supported by the executing CPU.
+Isa detect();
+
+// --- scalar reference implementations (kept intentionally unvectorised) ---
+void vmul_scalar(double* z, const double* x, const double* y, std::size_t n);
+double dot_xyz_scalar(const double* x, const double* y, const double* z, std::size_t n);
+double dot_xyy_scalar(const double* x, const double* y, std::size_t n);
+
+// --- vectorised implementations (valid to call only if detect()==Avx2) ---
+void vmul_avx2(double* z, const double* x, const double* y, std::size_t n);
+double dot_xyz_avx2(const double* x, const double* y, const double* z, std::size_t n);
+double dot_xyy_avx2(const double* x, const double* y, std::size_t n);
+
+// --- dispatched entry points used by the solvers ---
+void vmul(double* z, const double* x, const double* y, std::size_t n);
+double dot_xyz(const double* x, const double* y, const double* z, std::size_t n);
+double dot_xyy(const double* x, const double* y, std::size_t n);
+
+// Additional dispatched kernels used by CG / time steppers.
+double dot(const double* x, const double* y, std::size_t n);
+void axpy(double a, const double* x, double* y, std::size_t n);   // y += a*x
+void xpay(const double* x, double a, double* y, std::size_t n);   // y = x + a*y
+void scale(double a, double* x, std::size_t n);                   // x *= a
+
+}  // namespace la::simd

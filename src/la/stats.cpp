@@ -1,0 +1,72 @@
+#include "la/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace la::stats {
+
+Moments moments(const std::vector<double>& x) {
+  Moments m;
+  m.n = x.size();
+  if (m.n == 0) return m;
+  double s = 0.0;
+  for (double v : x) s += v;
+  m.mean = s / static_cast<double>(m.n);
+  if (m.n < 2) return m;
+
+  double m2 = 0.0, m3 = 0.0, m4 = 0.0;
+  for (double v : x) {
+    const double d = v - m.mean;
+    m2 += d * d;
+    m3 += d * d * d;
+    m4 += d * d * d * d;
+  }
+  const double n = static_cast<double>(m.n);
+  m.variance = m2 / (n - 1.0);
+  m.stddev = std::sqrt(m.variance);
+  const double sig2 = m2 / n;
+  if (sig2 > 0.0) {
+    m.skewness = (m3 / n) / std::pow(sig2, 1.5);
+    m.kurtosis_excess = (m4 / n) / (sig2 * sig2) - 3.0;
+  }
+  return m;
+}
+
+Histogram histogram(const std::vector<double>& x, double lo, double hi, std::size_t bins) {
+  if (bins == 0 || hi <= lo) throw std::invalid_argument("histogram: bad range/bins");
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.bin_width = (hi - lo) / static_cast<double>(bins);
+  h.counts.assign(bins, 0);
+  h.centers.resize(bins);
+  for (std::size_t b = 0; b < bins; ++b)
+    h.centers[b] = lo + (static_cast<double>(b) + 0.5) * h.bin_width;
+
+  for (double v : x) {
+    auto b = static_cast<long>((v - lo) / h.bin_width);
+    b = std::clamp(b, 0L, static_cast<long>(bins) - 1L);
+    h.counts[static_cast<std::size_t>(b)]++;
+  }
+  h.density.resize(bins);
+  const double norm = x.empty() ? 0.0
+                                : 1.0 / (static_cast<double>(x.size()) * h.bin_width);
+  for (std::size_t b = 0; b < bins; ++b)
+    h.density[b] = static_cast<double>(h.counts[b]) * norm;
+  return h;
+}
+
+double gaussian_pdf(double x, double mean, double sigma) {
+  const double z = (x - mean) / sigma;
+  return std::exp(-0.5 * z * z) / (sigma * std::sqrt(2.0 * M_PI));
+}
+
+double gaussian_l1_distance(const Histogram& h, double mean, double sigma) {
+  double d = 0.0;
+  for (std::size_t b = 0; b < h.centers.size(); ++b)
+    d += std::fabs(h.density[b] - gaussian_pdf(h.centers[b], mean, sigma)) * h.bin_width;
+  return d;
+}
+
+}  // namespace la::stats

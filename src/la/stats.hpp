@@ -1,0 +1,41 @@
+#pragma once
+// Small statistics toolkit used by WPOD post-processing (Fig. 7): sample
+// moments, histograms / empirical PDFs, and a Gaussian-fit comparison for
+// the thermal-fluctuation distribution.
+
+#include <cstddef>
+#include <vector>
+
+namespace la::stats {
+
+struct Moments {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< unbiased (n-1) estimator
+  double stddev = 0.0;
+  double skewness = 0.0;
+  double kurtosis_excess = 0.0;
+};
+
+Moments moments(const std::vector<double>& x);
+
+struct Histogram {
+  double lo = 0.0, hi = 0.0, bin_width = 0.0;
+  std::vector<double> centers;
+  std::vector<double> density;  ///< normalised so that sum(density)*bin_width = 1
+  std::vector<std::size_t> counts;
+};
+
+/// Equal-width histogram over [lo, hi]; samples outside are clamped to the
+/// edge bins so that total mass is preserved.
+Histogram histogram(const std::vector<double>& x, double lo, double hi, std::size_t bins);
+
+/// Standard normal / general gaussian density.
+double gaussian_pdf(double x, double mean, double sigma);
+
+/// L1 distance between an empirical density and a gaussian with the given
+/// parameters, integrated over the histogram support. 0 = perfect match,
+/// 2 = disjoint. Fig. 7 claims the fluctuation PDF is gaussian (sigma~1.03).
+double gaussian_l1_distance(const Histogram& h, double mean, double sigma);
+
+}  // namespace la::stats

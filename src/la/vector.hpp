@@ -1,0 +1,98 @@
+#pragma once
+// Aligned numeric vector used throughout the solvers.
+//
+// The paper (Sec. 3.5) enforces 16-byte alignment via posix_memalign so the
+// SIMD kernels can use aligned loads; we align to 64 bytes (cache line /
+// AVX-512 friendly) which subsumes that requirement.
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+#include <cassert>
+
+namespace la {
+
+inline constexpr std::size_t kAlignment = 64;
+
+/// Fixed-alignment heap array of doubles with value semantics.
+/// Intentionally minimal: the hot loops operate on raw pointers obtained
+/// through data(), so there is no iterator/expression-template machinery.
+class Vector {
+public:
+  Vector() = default;
+
+  explicit Vector(std::size_t n, double fill = 0.0) { resize(n, fill); }
+
+  Vector(const Vector& o) { assign(o.data_, o.size_); }
+  Vector(Vector&& o) noexcept { swap(o); }
+  Vector& operator=(const Vector& o) {
+    if (this != &o) assign(o.data_, o.size_);
+    return *this;
+  }
+  Vector& operator=(Vector&& o) noexcept {
+    if (this != &o) {
+      release();
+      swap(o);
+    }
+    return *this;
+  }
+  ~Vector() { release(); }
+
+  void resize(std::size_t n, double fill = 0.0) {
+    release();
+    size_ = n;
+    if (n == 0) return;
+    // round storage up to a full alignment block; std::aligned_alloc requires
+    // size to be a multiple of the alignment.
+    const std::size_t bytes = ((n * sizeof(double) + kAlignment - 1) / kAlignment) * kAlignment;
+    data_ = static_cast<double*>(std::aligned_alloc(kAlignment, bytes));
+    if (!data_) throw std::bad_alloc{};
+    for (std::size_t i = 0; i < n; ++i) data_[i] = fill;
+  }
+
+  void fill(double v) {
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = v;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  double* data() { return data_; }
+  const double* data() const { return data_; }
+
+  double& operator[](std::size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  double operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  double* begin() { return data_; }
+  double* end() { return data_ + size_; }
+  const double* begin() const { return data_; }
+  const double* end() const { return data_ + size_; }
+
+  void swap(Vector& o) noexcept {
+    std::swap(data_, o.data_);
+    std::swap(size_, o.size_);
+  }
+
+private:
+  void assign(const double* src, std::size_t n) {
+    resize(n);
+    if (n) std::memcpy(data_, src, n * sizeof(double));
+  }
+  void release() {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  double* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace la

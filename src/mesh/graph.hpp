@@ -1,0 +1,78 @@
+#pragma once
+// Weighted element-adjacency graphs — the partitioner's input.
+//
+// Paper Sec. 3.5: "In unstructured meshes a relatively high number
+// (O(10)-O(100)) of adjacent elements sharing vertex, edge and face may
+// exist ... To minimize the communication between partitions we provide to
+// METIS the full adjacency list including elements sharing only one vertex.
+// The weights associated with the links are scaled with respect to the
+// number of shared degrees of freedom per link."
+//
+// Table 2 compares two policies: (a) only face-sharing neighbours, and
+// (b) the full vertex/edge/face adjacency with dof-scaled weights. The
+// builders here produce both for the same mesh so the bench can replay the
+// resulting partitions' communication on the modeled machine.
+
+#include <cstddef>
+#include <vector>
+
+namespace mesh {
+
+/// Which element pairs become graph edges, and how they are weighted.
+enum class AdjacencyPolicy {
+  FaceOnly,        ///< edges only between face-sharing elements, unit weight
+  FullDofWeighted, ///< also edge-/vertex-sharing neighbours; weight = shared dofs
+};
+
+struct GraphEdge {
+  std::size_t to = 0;
+  double weight = 1.0;  ///< proportional to shared degrees of freedom
+};
+
+/// Undirected weighted graph in adjacency-list form; every edge appears in
+/// both endpoints' lists.
+class ElementGraph {
+public:
+  explicit ElementGraph(std::size_t n = 0) : adj_(n), vwgt_(n, 1.0) {}
+
+  std::size_t size() const { return adj_.size(); }
+  const std::vector<GraphEdge>& neighbors(std::size_t v) const { return adj_[v]; }
+  double vertex_weight(std::size_t v) const { return vwgt_[v]; }
+  void set_vertex_weight(std::size_t v, double w) { vwgt_[v] = w; }
+
+  /// Add the edge u-v (both directions). Duplicate edges accumulate weight.
+  void add_edge(std::size_t u, std::size_t v, double w = 1.0);
+
+  double total_vertex_weight() const;
+  std::size_t num_edges() const;  ///< undirected count
+
+private:
+  std::vector<std::vector<GraphEdge>> adj_;
+  std::vector<double> vwgt_;
+};
+
+/// Element graph of an nx x ny structured quad mesh with polynomial order P.
+/// FaceOnly: 4-neighbourhood, unit weights. FullDofWeighted: 8-neighbourhood;
+/// face links weighted (P+1) shared dofs, corner links weighted 1.
+ElementGraph quad_grid_graph(std::size_t nx, std::size_t ny, int P, AdjacencyPolicy policy);
+
+/// Element graph of an nx x ny x nz structured hex mesh with order P.
+/// FaceOnly: 6-neighbourhood weighted (P+1)^2. FullDofWeighted: full
+/// 26-neighbourhood; faces (P+1)^2, edges (P+1), vertices 1.
+ElementGraph hex_grid_graph(std::size_t nx, std::size_t ny, std::size_t nz, int P,
+                            AdjacencyPolicy policy);
+
+/// Hex mesh wrapped into a tube (periodic in the circumferential direction):
+/// a structured stand-in for the carotid-artery mesh of Table 2, with
+/// `n_axial` x `n_circ` x `n_radial` elements.
+///
+/// `radial_face_factor` emulates the shared-dof heterogeneity of the paper's
+/// unstructured boundary-layer meshes: faces between radially adjacent
+/// elements carry `radial_face_factor` times more degrees of freedom. The
+/// FaceOnly policy cannot see this (unit weights, as a face-count-only
+/// partitioner would), while FullDofWeighted weights links by the true
+/// shared-dof counts — exactly the distinction Table 2 measures.
+ElementGraph tube_graph(std::size_t n_axial, std::size_t n_circ, std::size_t n_radial, int P,
+                        AdjacencyPolicy policy, double radial_face_factor = 1.0);
+
+}  // namespace mesh

@@ -1,0 +1,141 @@
+#include "mesh/quadmesh.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mesh {
+
+namespace {
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+}
+
+QuadMesh::QuadMesh(double x0, double y0, double Lx, double Ly, std::size_t nx, std::size_t ny)
+    : x0_(x0), y0_(y0), dx_(Lx / static_cast<double>(nx)), dy_(Ly / static_cast<double>(ny)),
+      nx_(nx), ny_(ny), active_(nx * ny, 1) {
+  if (nx == 0 || ny == 0 || Lx <= 0.0 || Ly <= 0.0)
+    throw std::invalid_argument("QuadMesh: bad extents");
+  rebuild_index();
+}
+
+void QuadMesh::deactivate_if(const std::function<bool(std::size_t, std::size_t)>& pred) {
+  for (std::size_t j = 0; j < ny_; ++j)
+    for (std::size_t i = 0; i < nx_; ++i)
+      if (pred(i, j)) active_[j * nx_ + i] = 0;
+  tags_.clear();  // compact indices change; boundary must be retagged
+  rebuild_index();
+}
+
+void QuadMesh::rebuild_index() {
+  cells_.clear();
+  compact_.assign(nx_ * ny_, kNpos);
+  for (std::size_t j = 0; j < ny_; ++j)
+    for (std::size_t i = 0; i < nx_; ++i)
+      if (active_[j * nx_ + i]) {
+        compact_[j * nx_ + i] = cells_.size();
+        cells_.emplace_back(i, j);
+      }
+}
+
+std::size_t QuadMesh::cell_index(std::size_t i, std::size_t j) const {
+  const std::size_t c = compact_[j * nx_ + i];
+  if (c == kNpos) throw std::out_of_range("QuadMesh::cell_index: inactive cell");
+  return c;
+}
+
+std::pair<double, double> QuadMesh::cell_origin(std::size_t c) const {
+  const auto [i, j] = cells_[c];
+  return {x0_ + static_cast<double>(i) * dx_, y0_ + static_cast<double>(j) * dy_};
+}
+
+long QuadMesh::neighbor(std::size_t c, Side s) const {
+  const auto [i, j] = cells_[c];
+  long ii = static_cast<long>(i), jj = static_cast<long>(j);
+  switch (s) {
+    case Side::South: jj -= 1; break;
+    case Side::East: ii += 1; break;
+    case Side::North: jj += 1; break;
+    case Side::West: ii -= 1; break;
+  }
+  if (ii < 0 || jj < 0 || ii >= static_cast<long>(nx_) || jj >= static_cast<long>(ny_)) return -1;
+  const std::size_t n = compact_[static_cast<std::size_t>(jj) * nx_ + static_cast<std::size_t>(ii)];
+  return n == kNpos ? -1 : static_cast<long>(n);
+}
+
+int QuadMesh::face_tag(std::size_t c, Side s) const {
+  auto it = tags_.find({c, static_cast<int>(s)});
+  return it == tags_.end() ? kWall : it->second;
+}
+
+std::vector<BoundaryFace> QuadMesh::boundary_faces() const {
+  std::vector<BoundaryFace> out;
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    const auto [ox, oy] = cell_origin(c);
+    for (int si = 0; si < 4; ++si) {
+      const Side s = static_cast<Side>(si);
+      if (neighbor(c, s) >= 0) continue;
+      BoundaryFace f;
+      f.cell = c;
+      f.side = s;
+      f.tag = face_tag(c, s);
+      switch (s) {
+        case Side::South: f.mid_x = ox + 0.5 * dx_; f.mid_y = oy; break;
+        case Side::North: f.mid_x = ox + 0.5 * dx_; f.mid_y = oy + dy_; break;
+        case Side::West: f.mid_x = ox; f.mid_y = oy + 0.5 * dy_; break;
+        case Side::East: f.mid_x = ox + dx_; f.mid_y = oy + 0.5 * dy_; break;
+      }
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+void QuadMesh::retag_boundary(const std::function<int(const BoundaryFace&)>& fn) {
+  for (const auto& f : boundary_faces()) {
+    const int t = fn(f);
+    if (t != f.tag) tags_[{f.cell, static_cast<int>(f.side)}] = t;
+  }
+}
+
+QuadMesh QuadMesh::channel(double L, double H, std::size_t nx, std::size_t ny) {
+  QuadMesh m(0.0, 0.0, L, H, nx, ny);
+  m.retag_boundary([&](const BoundaryFace& f) {
+    if (f.side == Side::West) return kInlet;
+    if (f.side == Side::East) return kOutlet;
+    return kWall;
+  });
+  return m;
+}
+
+QuadMesh QuadMesh::channel_with_cavity(double L, double H, double cav_x0, double cav_x1,
+                                       double cav_depth, std::size_t nx, std::size_t ny) {
+  const double dy = H / static_cast<double>(ny);
+  const std::size_t ny_cavity =
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::lround(cav_depth / dy)));
+  const double Hy = H + static_cast<double>(ny_cavity) * dy;
+  const std::size_t ny_total = ny + ny_cavity;
+  QuadMesh m(0.0, 0.0, L, Hy, nx, ny_total);
+  // Deactivate everything above the channel except the cavity window.
+  m.deactivate_if([&](std::size_t i, std::size_t j) {
+    if (j < ny) return false;  // channel rows stay
+    const double xc = (static_cast<double>(i) + 0.5) * m.dx_;
+    return !(xc > cav_x0 && xc < cav_x1);
+  });
+  m.retag_boundary([&](const BoundaryFace& f) {
+    const double eps = 1e-12;
+    if (f.side == Side::West && std::fabs(f.mid_x - 0.0) < eps && f.mid_y < H) return kInlet;
+    if (f.side == Side::East && std::fabs(f.mid_x - L) < eps && f.mid_y < H) return kOutlet;
+    return kWall;
+  });
+  return m;
+}
+
+QuadMesh QuadMesh::lid_cavity(std::size_t n) {
+  QuadMesh m(0.0, 0.0, 1.0, 1.0, n, n);
+  m.retag_boundary([&](const BoundaryFace& f) {
+    return f.side == Side::North ? kInlet : kWall;
+  });
+  return m;
+}
+
+}  // namespace mesh

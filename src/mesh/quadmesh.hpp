@@ -1,0 +1,100 @@
+#pragma once
+// Structured quadrilateral mesh with an active-element mask.
+//
+// The paper's continuum domains are patient-specific artery patches; our
+// laptop-scale stand-ins are unions of axis-aligned rectangles carved out of
+// a structured grid (channel, driven cavity, channel with an aneurysm-like
+// side cavity). Masking keeps the SEM assembly simple (affine elements) while
+// still giving non-trivial geometry and boundary tagging.
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace mesh {
+
+/// Element-local side numbering (counter-clockwise).
+enum class Side : int { South = 0, East = 1, North = 2, West = 3 };
+
+/// Built-in boundary tags; anything >= kUserTagBase is caller-defined
+/// (e.g. patch-interface ids).
+inline constexpr int kWall = 0;
+inline constexpr int kInlet = 1;
+inline constexpr int kOutlet = 2;
+inline constexpr int kUserTagBase = 100;
+
+struct BoundaryFace {
+  std::size_t cell;  ///< compact active-cell index
+  Side side;
+  int tag = kWall;
+  double mid_x = 0.0, mid_y = 0.0;  ///< face midpoint (for retagging/BC eval)
+};
+
+class QuadMesh {
+public:
+  /// Uniform grid over [x0, x0+Lx] x [y0, y0+Ly], all elements active.
+  QuadMesh(double x0, double y0, double Lx, double Ly, std::size_t nx, std::size_t ny);
+
+  /// Deactivate grid cells selected by the predicate (grid i,j coordinates).
+  void deactivate_if(const std::function<bool(std::size_t i, std::size_t j)>& pred);
+
+  std::size_t grid_nx() const { return nx_; }
+  std::size_t grid_ny() const { return ny_; }
+  double dx() const { return dx_; }
+  double dy() const { return dy_; }
+  double x0() const { return x0_; }
+  double y0() const { return y0_; }
+
+  bool is_active(std::size_t i, std::size_t j) const { return active_[j * nx_ + i] != 0; }
+  std::size_t num_cells() const { return cells_.size(); }
+
+  /// Compact index of active cell (i, j); throws if inactive.
+  std::size_t cell_index(std::size_t i, std::size_t j) const;
+  /// Grid coordinates of compact cell c.
+  std::pair<std::size_t, std::size_t> cell_coords(std::size_t c) const { return cells_[c]; }
+
+  /// Lower-left corner of compact cell c.
+  std::pair<double, double> cell_origin(std::size_t c) const;
+
+  /// Compact index of the face-neighbour of c across `s`, or -1 if the
+  /// neighbour is missing/inactive.
+  long neighbor(std::size_t c, Side s) const;
+
+  /// All exposed faces (domain boundary or bordering an inactive cell),
+  /// with current tags. Default tag is kWall.
+  std::vector<BoundaryFace> boundary_faces() const;
+
+  /// Re-tag boundary faces: fn receives each face (tag = current value) and
+  /// returns the new tag.
+  void retag_boundary(const std::function<int(const BoundaryFace&)>& fn);
+
+  // --- common scenario builders ---
+
+  /// Straight channel [0,L] x [0,H]; inlet x=0, outlet x=L, walls elsewhere.
+  static QuadMesh channel(double L, double H, std::size_t nx, std::size_t ny);
+
+  /// Channel with a rectangular aneurysm-like cavity bulging from the top
+  /// wall over x in [cav_x0, cav_x1], extending ~cav_depth above the channel
+  /// (rounded to whole element rows of size H/ny). Inlet x=0, outlet x=L,
+  /// walls elsewhere (including the cavity).
+  static QuadMesh channel_with_cavity(double L, double H, double cav_x0, double cav_x1,
+                                      double cav_depth, std::size_t nx, std::size_t ny);
+
+  /// Lid-driven cavity [0,1]^2 with the moving lid tagged kInlet (velocity
+  /// BC carries the lid speed).
+  static QuadMesh lid_cavity(std::size_t n);
+
+private:
+  void rebuild_index();
+  int face_tag(std::size_t c, Side s) const;
+
+  double x0_, y0_, dx_, dy_;
+  std::size_t nx_, ny_;
+  std::vector<char> active_;
+  std::vector<std::pair<std::size_t, std::size_t>> cells_;  // compact -> (i,j)
+  std::vector<std::size_t> compact_;                        // grid -> compact or npos
+  std::map<std::pair<std::size_t, int>, int> tags_;         // (compact cell, side) -> tag
+};
+
+}  // namespace mesh

@@ -1,0 +1,139 @@
+#include "nektar1d/artery.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nektar1d {
+
+Artery::Artery(const VesselParams& p)
+    : prm_(p), rule_(sem::gll_rule(p.order)), D_(sem::gll_diff_matrix(rule_)) {
+  if (p.elements == 0 || p.length <= 0.0 || p.A0 <= 0.0 || p.beta <= 0.0 || p.rho <= 0.0)
+    throw std::invalid_argument("Artery: bad parameters");
+  const std::size_t n1 = static_cast<std::size_t>(p.order) + 1;
+  const double dx = p.length / static_cast<double>(p.elements);
+  jac_ = 0.5 * dx;
+  x_.resize(p.elements * n1);
+  A_.resize(x_.size(), p.A0);
+  U_.resize(x_.size(), 0.0);
+  for (std::size_t e = 0; e < p.elements; ++e)
+    for (std::size_t k = 0; k < n1; ++k)
+      x_[e * n1 + k] = (static_cast<double>(e) + 0.5 * (rule_.nodes[k] + 1.0)) * dx;
+  ghost_Al_ = p.A0;
+  ghost_Ul_ = 0.0;
+  ghost_Ar_ = p.A0;
+  ghost_Ur_ = 0.0;
+}
+
+double Artery::pressure(double A) const {
+  return prm_.beta * (std::sqrt(A) - std::sqrt(prm_.A0));
+}
+
+double Artery::wave_speed(double A) const {
+  return std::sqrt(prm_.beta / (2.0 * prm_.rho)) * std::pow(A, 0.25);
+}
+
+void Artery::from_characteristics(double w1, double w2, double& A, double& U) const {
+  const double c = c0() + 0.125 * (w1 - w2);
+  const double s = 2.0 * prm_.rho * c * c / prm_.beta;  // sqrt(A)
+  A = s * s;
+  U = 0.5 * (w1 + w2);
+}
+
+namespace {
+struct Flux {
+  double fa, fu;
+};
+}  // namespace
+
+void Artery::rhs(const la::Vector& A, const la::Vector& U, la::Vector& dA,
+                 la::Vector& dU) const {
+  const std::size_t n1 = static_cast<std::size_t>(prm_.order) + 1;
+  const std::size_t ne = prm_.elements;
+  const auto& w = rule_.weights;
+
+  auto flux = [this](double a, double u) -> Flux {
+    return {a * u, 0.5 * u * u + pressure(a) / prm_.rho};
+  };
+  auto lf_flux = [&](double aL, double uL, double aR, double uR) -> Flux {
+    const Flux fL = flux(aL, uL), fR = flux(aR, uR);
+    const double lam = std::max(std::fabs(uL) + wave_speed(aL),
+                                std::fabs(uR) + wave_speed(aR));
+    return {0.5 * (fL.fa + fR.fa) - 0.5 * lam * (aR - aL),
+            0.5 * (fL.fu + fR.fu) - 0.5 * lam * (uR - uL)};
+  };
+
+  for (std::size_t e = 0; e < ne; ++e) {
+    const std::size_t off = e * n1;
+    // volume term: -(1/J) D F
+    for (std::size_t i = 0; i < n1; ++i) {
+      double sa = 0.0, su = 0.0;
+      for (std::size_t j = 0; j < n1; ++j) {
+        const Flux f = flux(A[off + j], U[off + j]);
+        sa += D_(i, j) * f.fa;
+        su += D_(i, j) * f.fu;
+      }
+      dA[off + i] = -sa / jac_;
+      dU[off + i] = -su / jac_;
+    }
+    // left face of element e
+    double aExt, uExt;
+    if (e == 0) {
+      aExt = ghost_Al_;
+      uExt = ghost_Ul_;
+    } else {
+      aExt = A[off - 1];
+      uExt = U[off - 1];
+    }
+    {
+      const Flux fstar = lf_flux(aExt, uExt, A[off], U[off]);
+      const Flux fint = flux(A[off], U[off]);
+      dA[off] += (fstar.fa - fint.fa) / (jac_ * w[0]);
+      dU[off] += (fstar.fu - fint.fu) / (jac_ * w[0]);
+    }
+    // right face of element e
+    const std::size_t last = off + n1 - 1;
+    if (e + 1 == ne) {
+      aExt = ghost_Ar_;
+      uExt = ghost_Ur_;
+    } else {
+      aExt = A[last + 1];
+      uExt = U[last + 1];
+    }
+    {
+      const Flux fstar = lf_flux(A[last], U[last], aExt, uExt);
+      const Flux fint = flux(A[last], U[last]);
+      dA[last] -= (fstar.fa - fint.fa) / (jac_ * w[n1 - 1]);
+      dU[last] -= (fstar.fu - fint.fu) / (jac_ * w[n1 - 1]);
+    }
+    // friction source on U
+    for (std::size_t i = 0; i < n1; ++i)
+      dU[off + i] -= prm_.Kr * U[off + i] / A[off + i];
+  }
+}
+
+void Artery::step(double dt) {
+  const std::size_t n = A_.size();
+  la::Vector dA(n), dU(n), A1(n), U1(n), dA1(n), dU1(n);
+  rhs(A_, U_, dA, dU);
+  for (std::size_t i = 0; i < n; ++i) {
+    A1[i] = A_[i] + dt * dA[i];
+    U1[i] = U_[i] + dt * dU[i];
+  }
+  rhs(A1, U1, dA1, dU1);
+  for (std::size_t i = 0; i < n; ++i) {
+    A_[i] = 0.5 * (A_[i] + A1[i] + dt * dA1[i]);
+    U_[i] = 0.5 * (U_[i] + U1[i] + dt * dU1[i]);
+    if (!(A_[i] > 0.0) || !std::isfinite(A_[i]) || !std::isfinite(U_[i]))
+      throw std::runtime_error("Artery::step: invalid state (unstable dt or bad BC)");
+  }
+}
+
+double Artery::max_wave_speed() const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < A_.size(); ++i)
+    m = std::max(m, std::fabs(U_[i]) + wave_speed(A_[i]));
+  return m;
+}
+
+}  // namespace nektar1d

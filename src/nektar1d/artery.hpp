@@ -1,0 +1,95 @@
+#pragma once
+// NεκTαr-1D stand-in: nonlinear one-dimensional blood flow in a compliant
+// vessel, discretised with nodal discontinuous-Galerkin spectral elements
+// (GLL nodes, Lax-Friedrichs numerical flux, SSP-RK2 time stepping).
+//
+// State per vessel: cross-sectional area A(x,t) and mean velocity U(x,t);
+// the tube law closes pressure:  p = p_ext + beta (sqrt(A) - sqrt(A0)).
+// The hyperbolic system:
+//   A_t + (A U)_x = 0
+//   U_t + (U^2/2 + p/rho)_x = -Kr U / A        (viscous wall friction)
+// Characteristics: W_{1,2} = U +- 4 (c - c0), c = sqrt(beta/(2 rho)) A^{1/4}.
+//
+// The paper couples this model to the 3D patches to represent peripheral
+// networks "invisible to the MRI or CT scanners" (Sec. 3).
+
+#include <cmath>
+#include <cstddef>
+#include <functional>
+
+#include "la/dense.hpp"
+#include "la/vector.hpp"
+#include "sem/gll.hpp"
+
+namespace nektar1d {
+
+struct VesselParams {
+  double length = 1.0;        ///< cm
+  double A0 = 0.5;            ///< reference area, cm^2
+  double beta = 1.0e5;        ///< tube-law stiffness, dyn/cm^3
+  double rho = 1.06;          ///< blood density, g/cm^3
+  double Kr = 8.0 * M_PI * 0.04;  ///< friction coefficient (Poiseuille-like), cm^2/s
+  std::size_t elements = 8;
+  int order = 4;              ///< DG polynomial order
+};
+
+/// One vessel: DG discretisation of the (A, U) system. Interface values at
+/// the two ends are exchanged through characteristic variables by the
+/// network (junctions / boundary conditions).
+class Artery {
+public:
+  explicit Artery(const VesselParams& p);
+
+  const VesselParams& params() const { return prm_; }
+  std::size_t num_nodes() const { return A_.size(); }
+
+  double x_of(std::size_t node) const { return x_[node]; }
+  const la::Vector& A() const { return A_; }
+  const la::Vector& U() const { return U_; }
+  la::Vector& A() { return A_; }
+  la::Vector& U() { return U_; }
+
+  double pressure(double A) const;           ///< tube law
+  double wave_speed(double A) const;          ///< c(A)
+  double c0() const { return wave_speed(prm_.A0); }
+
+  /// Riemann invariants at a state.
+  double W1(double A, double U) const { return U + 4.0 * (wave_speed(A) - c0()); }
+  double W2(double A, double U) const { return U - 4.0 * (wave_speed(A) - c0()); }
+  /// Invert (W1, W2) -> (A, U).
+  void from_characteristics(double w1, double w2, double& A, double& U) const;
+
+  /// End states (node values at x=0 / x=L).
+  double A_left() const { return A_[0]; }
+  double U_left() const { return U_[0]; }
+  double A_right() const { return A_[A_.size() - 1]; }
+  double U_right() const { return U_[U_.size() - 1]; }
+
+  /// Ghost states imposed by the network before each RK stage: the boundary
+  /// numerical flux uses these as the exterior trace.
+  void set_left_ghost(double A, double U) { ghost_Al_ = A; ghost_Ul_ = U; }
+  void set_right_ghost(double A, double U) { ghost_Ar_ = A; ghost_Ur_ = U; }
+
+  /// One SSP-RK2 step of size dt (ghost states held fixed over the step).
+  void step(double dt);
+
+  /// Largest |U| + c over the vessel (CFL control).
+  double max_wave_speed() const;
+
+  /// Volumetric flow rate Q = A U at the right end.
+  double Q_right() const { return A_right() * U_right(); }
+  double Q_left() const { return A_left() * U_left(); }
+
+private:
+  void rhs(const la::Vector& A, const la::Vector& U, la::Vector& dA, la::Vector& dU) const;
+
+  VesselParams prm_;
+  sem::GllRule rule_;
+  la::DenseMatrix D_;     // reference differentiation matrix
+  double jac_;            // dx_elem / 2
+  la::Vector x_;          // node coordinates (duplicated at element joints)
+  la::Vector A_, U_;
+  double ghost_Al_, ghost_Ul_, ghost_Ar_, ghost_Ur_;
+};
+
+}  // namespace nektar1d

@@ -1,0 +1,113 @@
+#include "nektar1d/tree.hpp"
+
+#include <cmath>
+
+namespace nektar1d {
+
+namespace {
+
+VesselParams vessel_of_radius(double r, const FractalTreeParams& p) {
+  VesselParams vp;
+  vp.length = p.length_ratio * r;
+  vp.A0 = M_PI * r * r;
+  // Elastic stiffness grows as vessels narrow (beta ~ Eh/r^2 ~ 1/r for
+  // h ~ r): normalise to the root radius.
+  vp.beta = p.beta0 * (p.root_radius / r);
+  vp.rho = p.rho;
+  vp.elements = p.elements_root;
+  vp.order = p.order;
+  return vp;
+}
+
+void grow(FractalTree& t, const FractalTreeParams& p, int parent, double r, int gen) {
+  if (gen >= p.generations) {
+    // terminal resistance scaled inversely with area (smaller vessels feed
+    // higher-resistance beds)
+    const double A = M_PI * r * r;
+    t.net.set_outlet_resistance(parent, p.terminal_resistance * (M_PI * p.root_radius *
+                                                                 p.root_radius) / A);
+    t.leaves.push_back(parent);
+    return;
+  }
+  // Murray's law with asymmetry a = r_l / r_r:
+  // r_r = r_p / (1 + a^g)^{1/g}, r_l = a * r_r
+  const double g = p.murray_gamma;
+  const double rr = r / std::pow(1.0 + std::pow(p.asymmetry, g), 1.0 / g);
+  const double rl = p.asymmetry * rr;
+  const int left = t.net.add_vessel(vessel_of_radius(rl, p));
+  const int right = t.net.add_vessel(vessel_of_radius(rr, p));
+  t.total_vessels += 2;
+  t.net.add_junction({{parent, End::Right}, {left, End::Left}, {right, End::Left}});
+  grow(t, p, left, rl, gen + 1);
+  grow(t, p, right, rr, gen + 1);
+}
+
+}  // namespace
+
+FractalTree fractal_tree(const FractalTreeParams& p) {
+  FractalTree t;
+  t.root = t.net.add_vessel(vessel_of_radius(p.root_radius, p));
+  t.total_vessels = 1;
+  grow(t, p, t.root, p.root_radius, 0);
+  return t;
+}
+
+CowNetwork cow_network() {
+  CowNetwork c;
+  auto vessel = [&](double r_cm, double len_cm) {
+    VesselParams vp;
+    vp.length = len_cm;
+    vp.A0 = M_PI * r_cm * r_cm;
+    vp.beta = 4.0e5 * (0.3 / r_cm);
+    vp.elements = 6;
+    vp.order = 4;
+    return vp;
+  };
+
+  // Afferents
+  c.left_carotid = c.net.add_vessel(vessel(0.25, 12.0));
+  c.right_carotid = c.net.add_vessel(vessel(0.25, 12.0));
+  c.left_vertebral = c.net.add_vessel(vessel(0.14, 10.0));
+  c.right_vertebral = c.net.add_vessel(vessel(0.14, 10.0));
+
+  // Vertebrals merge into the basilar artery.
+  c.basilar = c.net.add_vessel(vessel(0.17, 3.0));
+  c.net.add_junction({{c.left_vertebral, End::Right},
+                      {c.right_vertebral, End::Right},
+                      {c.basilar, End::Left}});
+
+  // Ring: carotid terminus splits to MCA (efferent) + ACA (efferent) +
+  // posterior communicating artery; basilar splits to the two PCAs, each
+  // PCA joined by the ipsilateral PComm.
+  const int l_mca = c.net.add_vessel(vessel(0.14, 6.0));
+  const int r_mca = c.net.add_vessel(vessel(0.14, 6.0));
+  const int l_aca = c.net.add_vessel(vessel(0.11, 5.0));
+  const int r_aca = c.net.add_vessel(vessel(0.11, 5.0));
+  const int l_pcom = c.net.add_vessel(vessel(0.07, 2.0));
+  const int r_pcom = c.net.add_vessel(vessel(0.07, 2.0));
+  const int l_pca = c.net.add_vessel(vessel(0.10, 6.0));
+  const int r_pca = c.net.add_vessel(vessel(0.10, 6.0));
+
+  c.net.add_junction({{c.left_carotid, End::Right},
+                      {l_mca, End::Left},
+                      {l_aca, End::Left},
+                      {l_pcom, End::Left}});
+  c.net.add_junction({{c.right_carotid, End::Right},
+                      {r_mca, End::Left},
+                      {r_aca, End::Left},
+                      {r_pcom, End::Left}});
+  c.net.add_junction({{c.basilar, End::Right},
+                      {l_pca, End::Left},
+                      {r_pca, End::Left},
+                      {l_pcom, End::Right},
+                      {r_pcom, End::Right}});
+
+  // Efferent outlets: RCR windkessels (units: dyn s/cm^5, cm^5/dyn).
+  for (int v : {l_mca, r_mca, l_aca, r_aca, l_pca, r_pca}) {
+    c.net.set_outlet_rcr(v, 1.0e3, 1.5e4, 2.0e-5);
+    c.efferents.push_back(v);
+  }
+  return c;
+}
+
+}  // namespace nektar1d

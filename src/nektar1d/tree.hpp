@@ -1,0 +1,52 @@
+#pragma once
+// Network generators:
+//  * fractal_tree(): the paper's mesovascular-network model — small arteries
+//    "follow a tree-like structure governed by specific fractal laws"
+//    (Murray's law radius scaling, constant length/radius ratio).
+//  * cow_network(): a Circle-of-Willis-like macrovascular topology with four
+//    inlets (two carotids, two vertebrals), a communicating ring, and six
+//    efferent outlets — the structured stand-in for the paper's
+//    patient-specific MaN geometry.
+
+#include "nektar1d/network.hpp"
+
+namespace nektar1d {
+
+struct FractalTreeParams {
+  double root_radius = 0.3;    ///< cm
+  int generations = 4;         ///< depth of the binary tree
+  double murray_gamma = 3.0;   ///< r_p^g = r_l^g + r_r^g
+  double asymmetry = 0.8;      ///< r_l / r_r of daughters
+  double length_ratio = 20.0;  ///< vessel length = ratio * radius
+  double beta0 = 4.0e5;        ///< tube-law stiffness at the root (scales ~1/r)
+  double rho = 1.06;
+  std::size_t elements_root = 6;
+  int order = 4;
+  double terminal_resistance = 5.0e3;  ///< distal R at the leaves (scaled by area)
+};
+
+struct FractalTree {
+  ArterialNetwork net;
+  int root = -1;
+  std::vector<int> leaves;
+  std::size_t total_vessels = 0;
+};
+
+/// Build the tree and attach resistance outlets at every leaf. The inlet BC
+/// on the root is left to the caller.
+FractalTree fractal_tree(const FractalTreeParams& p);
+
+struct CowNetwork {
+  ArterialNetwork net;
+  // inlets
+  int left_carotid = -1, right_carotid = -1, left_vertebral = -1, right_vertebral = -1;
+  // ring segments and efferents
+  int basilar = -1;
+  std::vector<int> efferents;  ///< outlet vessels (ACA/MCA/PCA pairs)
+};
+
+/// Circle-of-Willis-like network; inlet flow waveforms are left to the
+/// caller (use set_inlet_flow on each inlet vessel).
+CowNetwork cow_network();
+
+}  // namespace nektar1d

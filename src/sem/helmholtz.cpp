@@ -1,0 +1,188 @@
+#include "sem/helmholtz.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sem {
+
+HelmholtzSolver::HelmholtzSolver(const Operators& ops, double lambda, double nu,
+                                 std::vector<int> dirichlet_tags, PreconditionerKind precond)
+    : ops_(&ops), lambda_(lambda), nu_(nu), precond_kind_(precond) {
+  const auto& d = ops.disc();
+  is_dirichlet_.assign(d.num_nodes(), 0);
+  for (int tag : dirichlet_tags)
+    for (std::size_t g : d.boundary_nodes(tag)) is_dirichlet_[g] = 1;
+  for (std::size_t g = 0; g < is_dirichlet_.size(); ++g)
+    if (is_dirichlet_[g]) dnodes_.push_back(g);
+
+  precond_diag_ = ops.helmholtz_diag(lambda, nu);
+  for (std::size_t g : dnodes_) precond_diag_[g] = 1.0;
+  // Pure-Neumann Poisson: diag(K) alone can be near-singular in scale; the
+  // Jacobi preconditioner still works because diag entries are positive.
+
+  if (precond_kind_ == PreconditionerKind::BlockSchwarz) {
+    const int P = d.order();
+    const auto n1 = static_cast<std::size_t>(P) + 1;
+    const std::size_t npe = n1 * n1;
+    const double jac = 0.25 * d.mesh().dx() * d.mesh().dy();
+    const double rx2 = 4.0 / (d.mesh().dx() * d.mesh().dx());
+    const double ry2 = 4.0 / (d.mesh().dy() * d.mesh().dy());
+    const auto& w = d.rule().weights;
+    // 1D weak-derivative kernel G = D^T diag(w) D
+    la::DenseMatrix G(n1, n1);
+    const auto& D = d.diff_matrix();
+    for (std::size_t a = 0; a < n1; ++a)
+      for (std::size_t b = 0; b < n1; ++b) {
+        double s = 0.0;
+        for (std::size_t m = 0; m < n1; ++m) s += D(m, a) * w[m] * D(m, b);
+        G(a, b) = s;
+      }
+
+    block_chol_.reserve(d.num_elements());
+    for (std::size_t e = 0; e < d.num_elements(); ++e) {
+      la::DenseMatrix A(npe, npe);
+      for (std::size_t b = 0; b < n1; ++b)
+        for (std::size_t a = 0; a < n1; ++a) {
+          const std::size_t row = b * n1 + a;
+          for (std::size_t bp = 0; bp < n1; ++bp)
+            for (std::size_t ap = 0; ap < n1; ++ap) {
+              const std::size_t col = bp * n1 + ap;
+              double v = 0.0;
+              if (b == bp) v += nu * jac * rx2 * w[b] * G(a, ap);
+              if (a == ap) v += nu * jac * ry2 * w[a] * G(b, bp);
+              if (row == col) v += lambda * jac * w[a] * w[b];
+              A(row, col) += v;
+            }
+        }
+      // constrained local nodes -> identity rows/cols
+      for (std::size_t b = 0; b < n1; ++b)
+        for (std::size_t a = 0; a < n1; ++a) {
+          const std::size_t g = d.global_node(e, static_cast<int>(a), static_cast<int>(b));
+          if (!is_dirichlet_[g]) continue;
+          const std::size_t k = b * n1 + a;
+          for (std::size_t q = 0; q < npe; ++q) {
+            A(k, q) = 0.0;
+            A(q, k) = 0.0;
+          }
+          A(k, k) = 1.0;
+        }
+      // ridge for the (near-)singular lambda = 0 local problems
+      double tr = 0.0;
+      for (std::size_t q = 0; q < npe; ++q) tr += A(q, q);
+      for (std::size_t q = 0; q < npe; ++q) A(q, q) += 1e-8 * tr / static_cast<double>(npe);
+      if (!la::cholesky(A))
+        throw std::runtime_error("HelmholtzSolver: local block not SPD");
+      block_chol_.push_back(std::move(A));
+    }
+    pou_.resize(d.num_nodes());
+    for (std::size_t g = 0; g < d.num_nodes(); ++g)
+      pou_[g] = 1.0 / d.node_multiplicity(g);
+  }
+}
+
+void HelmholtzSolver::apply_block_schwarz(const double* r, double* z, std::size_t n) const {
+  const auto& d = ops_->disc();
+  const std::size_t npe = d.nodes_per_element();
+  for (std::size_t g = 0; g < n; ++g) z[g] = 0.0;
+  la::Vector rl(npe), zl(npe);
+  // symmetric weighted additive Schwarz: z = sum_e R^T W^1/2 A_e^-1 W^1/2 R r
+  std::vector<double> sq(n);
+  for (std::size_t g = 0; g < n; ++g) sq[g] = std::sqrt(pou_[g]);
+  for (std::size_t e = 0; e < block_chol_.size(); ++e) {
+    // gather weighted residual
+    const int P = d.order();
+    const auto n1 = static_cast<std::size_t>(P) + 1;
+    for (std::size_t b = 0; b < n1; ++b)
+      for (std::size_t a = 0; a < n1; ++a) {
+        const std::size_t g = d.global_node(e, static_cast<int>(a), static_cast<int>(b));
+        rl[b * n1 + a] = sq[g] * r[g];
+      }
+    la::cholesky_solve(block_chol_[e], rl, zl);
+    for (std::size_t b = 0; b < n1; ++b)
+      for (std::size_t a = 0; a < n1; ++a) {
+        const std::size_t g = d.global_node(e, static_cast<int>(a), static_cast<int>(b));
+        z[g] += sq[g] * zl[b * n1 + a];
+      }
+  }
+}
+
+la::CgResult HelmholtzSolver::solve(const la::Vector& f,
+                                    const std::function<double(double, double)>& g,
+                                    la::Vector& u) {
+  const auto& d = ops_->disc();
+  la::Vector bc(dnodes_.size());
+  for (std::size_t k = 0; k < dnodes_.size(); ++k)
+    bc[k] = g(d.node_x(dnodes_[k]), d.node_y(dnodes_[k]));
+  return solve_with_values(f, bc, u);
+}
+
+la::CgResult HelmholtzSolver::solve_with_values(const la::Vector& f, const la::Vector& bc_values,
+                                                la::Vector& u) {
+  const auto& d = ops_->disc();
+  const std::size_t n = d.num_nodes();
+  const auto& M = ops_->mass_diag();
+
+  // masked operator: rows and columns of constrained nodes removed
+  la::Vector tmp_in(n), tmp_out(n);
+  la::LinearOperator op = [&](const double* x, double* y) {
+    for (std::size_t gi = 0; gi < n; ++gi) tmp_in[gi] = is_dirichlet_[gi] ? 0.0 : x[gi];
+    ops_->apply_helmholtz(lambda_, nu_, tmp_in, tmp_out);
+    for (std::size_t gi = 0; gi < n; ++gi) y[gi] = is_dirichlet_[gi] ? x[gi] : tmp_out[gi];
+  };
+
+  // rhs: M f, lifted by the Dirichlet extension
+  la::Vector b(n);
+  for (std::size_t gi = 0; gi < n; ++gi) b[gi] = M[gi] * f[gi];
+
+  la::Vector lift(n, 0.0);
+  if (!dnodes_.empty()) {
+    for (std::size_t k = 0; k < dnodes_.size(); ++k) lift[dnodes_[k]] = bc_values[k];
+    la::Vector Alift(n);
+    ops_->apply_helmholtz(lambda_, nu_, lift, Alift);
+    for (std::size_t gi = 0; gi < n; ++gi) b[gi] -= Alift[gi];
+  }
+  for (std::size_t gi = 0; gi < n; ++gi)
+    if (is_dirichlet_[gi]) b[gi] = 0.0;
+
+  if (pure_neumann() && lambda_ == 0.0) {
+    // Singular operator with constant nullspace: make the rhs consistent.
+    double sum_b = 0.0, sum_m = 0.0;
+    for (std::size_t gi = 0; gi < n; ++gi) {
+      sum_b += b[gi];
+      sum_m += M[gi];
+    }
+    const double shift = sum_b / sum_m;
+    for (std::size_t gi = 0; gi < n; ++gi) b[gi] -= M[gi] * shift;
+  }
+
+  // warm start from the successive-solution projector
+  la::Vector u0(n, 0.0);
+  if (projection_enabled_) projector_.predict(op, b, u0);
+
+  la::Preconditioner precond =
+      precond_kind_ == PreconditionerKind::BlockSchwarz
+          ? la::Preconditioner([this](const double* r, double* z, std::size_t nn) {
+              apply_block_schwarz(r, z, nn);
+            })
+          : la::jacobi_preconditioner(precond_diag_);
+  auto res = la::cg_solve(op, b, u0, precond, opt_);
+  if (projection_enabled_) projector_.record(op, u0);
+
+  if (u.size() != n) u.resize(n);
+  for (std::size_t gi = 0; gi < n; ++gi) u[gi] = u0[gi] + lift[gi];
+
+  if (pure_neumann() && lambda_ == 0.0) {
+    // remove the arbitrary constant: zero mean
+    double mean_num = 0.0, mean_den = 0.0;
+    for (std::size_t gi = 0; gi < n; ++gi) {
+      mean_num += M[gi] * u[gi];
+      mean_den += M[gi];
+    }
+    const double mean = mean_num / mean_den;
+    for (std::size_t gi = 0; gi < n; ++gi) u[gi] -= mean;
+  }
+  return res;
+}
+
+}  // namespace sem

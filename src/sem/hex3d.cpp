@@ -1,0 +1,399 @@
+#include "sem/hex3d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "la/simd.hpp"
+
+namespace sem {
+
+Discretization3D::Discretization3D(double Lx, double Ly, double Lz, std::size_t nx,
+                                   std::size_t ny, std::size_t nz, int order)
+    : Lx_(Lx), Ly_(Ly), Lz_(Lz), nx_(nx), ny_(ny), nz_(nz), P_(order),
+      rule_(gll_rule(order)), D_(gll_diff_matrix(rule_)) {
+  if (nx == 0 || ny == 0 || nz == 0 || Lx <= 0 || Ly <= 0 || Lz <= 0 || order < 1)
+    throw std::invalid_argument("Discretization3D: bad arguments");
+  const auto P = static_cast<std::size_t>(order);
+  lat_nx_ = nx * P + 1;
+  lat_ny_ = ny * P + 1;
+  lat_nz_ = nz * P + 1;
+  ncoords_ = lat_nx_ * lat_ny_ * lat_nz_;
+
+  // box face node sets
+  for (std::size_t lk = 0; lk < lat_nz_; ++lk)
+    for (std::size_t lj = 0; lj < lat_ny_; ++lj)
+      for (std::size_t li = 0; li < lat_nx_; ++li) {
+        const std::size_t g = lattice_id(li, lj, lk);
+        if (li == 0) faces_[0].push_back(g);
+        if (li == lat_nx_ - 1) faces_[1].push_back(g);
+        if (lj == 0) faces_[2].push_back(g);
+        if (lj == lat_ny_ - 1) faces_[3].push_back(g);
+        if (lk == 0) faces_[4].push_back(g);
+        if (lk == lat_nz_ - 1) faces_[5].push_back(g);
+      }
+}
+
+std::size_t Discretization3D::lattice_id(std::size_t li, std::size_t lj, std::size_t lk) const {
+  return (lk * lat_ny_ + lj) * lat_nx_ + li;
+}
+
+std::size_t Discretization3D::global_node(std::size_t e, int a, int b, int c) const {
+  const auto P = static_cast<std::size_t>(P_);
+  const std::size_t i = e % nx_;
+  const std::size_t j = (e / nx_) % ny_;
+  const std::size_t k = e / (nx_ * ny_);
+  return lattice_id(i * P + static_cast<std::size_t>(a), j * P + static_cast<std::size_t>(b),
+                    k * P + static_cast<std::size_t>(c));
+}
+
+namespace {
+double lattice_coord(std::size_t l, int P, double h, const GllRule& rule, std::size_t n_elems) {
+  // element index and local node along one axis; the last lattice plane
+  // belongs to the last element's P-th node
+  std::size_t e = l / static_cast<std::size_t>(P);
+  std::size_t a = l % static_cast<std::size_t>(P);
+  if (e == n_elems) {
+    e = n_elems - 1;
+    a = static_cast<std::size_t>(P);
+  }
+  return static_cast<double>(e) * h + 0.5 * (rule.nodes[a] + 1.0) * h;
+}
+}  // namespace
+
+double Discretization3D::node_x(std::size_t g) const {
+  return lattice_coord(g % lat_nx_, P_, dx(), rule_, nx_);
+}
+double Discretization3D::node_y(std::size_t g) const {
+  return lattice_coord((g / lat_nx_) % lat_ny_, P_, dy(), rule_, ny_);
+}
+double Discretization3D::node_z(std::size_t g) const {
+  return lattice_coord(g / (lat_nx_ * lat_ny_), P_, dz(), rule_, nz_);
+}
+
+double Discretization3D::evaluate(const la::Vector& field, double x, double y, double z) const {
+  auto clamp_elem = [](double v, double h, std::size_t n) {
+    auto e = static_cast<long>(std::floor(v / h));
+    return static_cast<std::size_t>(std::clamp<long>(e, 0, static_cast<long>(n) - 1));
+  };
+  if (x < -1e-12 || y < -1e-12 || z < -1e-12 || x > Lx_ + 1e-12 || y > Ly_ + 1e-12 ||
+      z > Lz_ + 1e-12)
+    throw std::out_of_range("Discretization3D::evaluate: point outside box");
+  const std::size_t i = clamp_elem(x, dx(), nx_);
+  const std::size_t j = clamp_elem(y, dy(), ny_);
+  const std::size_t k = clamp_elem(z, dz(), nz_);
+  const std::size_t e = (k * ny_ + j) * nx_ + i;
+  auto ref = [](double v, double h, std::size_t idx) {
+    return std::clamp(2.0 * (v - static_cast<double>(idx) * h) / h - 1.0, -1.0, 1.0);
+  };
+  const la::Vector lx = lagrange_basis_at(rule_, ref(x, dx(), i));
+  const la::Vector ly = lagrange_basis_at(rule_, ref(y, dy(), j));
+  const la::Vector lz = lagrange_basis_at(rule_, ref(z, dz(), k));
+  double s = 0.0;
+  for (int c = 0; c <= P_; ++c) {
+    double sc = 0.0;
+    for (int b = 0; b <= P_; ++b) {
+      double sb = 0.0;
+      for (int a = 0; a <= P_; ++a)
+        sb += lx[static_cast<std::size_t>(a)] * field[global_node(e, a, b, c)];
+      sc += ly[static_cast<std::size_t>(b)] * sb;
+    }
+    s += lz[static_cast<std::size_t>(c)] * sc;
+  }
+  return s;
+}
+
+void Discretization3D::gather(const la::Vector& field, std::size_t e, double* local) const {
+  const int n1 = P_ + 1;
+  std::size_t idx = 0;
+  for (int c = 0; c < n1; ++c)
+    for (int b = 0; b < n1; ++b)
+      for (int a = 0; a < n1; ++a) local[idx++] = field[global_node(e, a, b, c)];
+}
+
+void Discretization3D::scatter_add(const double* local, std::size_t e, la::Vector& field) const {
+  const int n1 = P_ + 1;
+  std::size_t idx = 0;
+  for (int c = 0; c < n1; ++c)
+    for (int b = 0; b < n1; ++b)
+      for (int a = 0; a < n1; ++a) field[global_node(e, a, b, c)] += local[idx++];
+}
+
+// ---------------------------------------------------------------------------
+
+Operators3D::Operators3D(const Discretization3D& d) : d_(&d) {
+  jac_ = 0.125 * d.dx() * d.dy() * d.dz();
+  rx_ = 2.0 / d.dx();
+  ry_ = 2.0 / d.dy();
+  rz_ = 2.0 / d.dz();
+
+  const int P = d.order();
+  const auto& w = d.rule().weights;
+  const auto n1 = static_cast<std::size_t>(P) + 1;
+  G_ = la::DenseMatrix(n1, n1);
+  const auto& D = d.diff_matrix();
+  for (std::size_t a = 0; a < n1; ++a)
+    for (std::size_t b = 0; b < n1; ++b) {
+      double s = 0.0;
+      for (std::size_t m = 0; m < n1; ++m) s += D(m, a) * w[m] * D(m, b);
+      G_(a, b) = s;
+    }
+
+  mass_.resize(d.num_nodes(), 0.0);
+  stiff_diag_.resize(d.num_nodes(), 0.0);
+  for (std::size_t e = 0; e < d.num_elements(); ++e)
+    for (int c = 0; c <= P; ++c)
+      for (int b = 0; b <= P; ++b)
+        for (int a = 0; a <= P; ++a) {
+          const std::size_t g = d.global_node(e, a, b, c);
+          const double wa = w[static_cast<std::size_t>(a)];
+          const double wb = w[static_cast<std::size_t>(b)];
+          const double wc = w[static_cast<std::size_t>(c)];
+          mass_[g] += jac_ * wa * wb * wc;
+          stiff_diag_[g] +=
+              jac_ * (rx_ * rx_ * wb * wc * G_(static_cast<std::size_t>(a), static_cast<std::size_t>(a)) +
+                      ry_ * ry_ * wa * wc * G_(static_cast<std::size_t>(b), static_cast<std::size_t>(b)) +
+                      rz_ * rz_ * wa * wb * G_(static_cast<std::size_t>(c), static_cast<std::size_t>(c)));
+        }
+}
+
+void Operators3D::elem_stiffness(const double* u, double* y) const {
+  const int P = d_->order();
+  const auto n1 = static_cast<std::size_t>(P) + 1;
+  const auto& w = d_->rule().weights;
+  const double cx = jac_ * rx_ * rx_;
+  const double cy = jac_ * ry_ * ry_;
+  const double cz = jac_ * rz_ * rz_;
+  const std::size_t npe = n1 * n1 * n1;
+  for (std::size_t q = 0; q < npe; ++q) y[q] = 0.0;
+
+  auto at = [n1](std::size_t a, std::size_t b, std::size_t c) {
+    return (c * n1 + b) * n1 + a;
+  };
+  // x-lines
+  for (std::size_t c = 0; c < n1; ++c)
+    for (std::size_t b = 0; b < n1; ++b) {
+      const double coef = cx * w[b] * w[c];
+      const double* line = u + at(0, b, c);  // contiguous in a
+      double* yl = y + at(0, b, c);
+      for (std::size_t a = 0; a < n1; ++a)
+        yl[a] += coef * la::simd::dot(G_.row(a), line, n1);
+    }
+  // y-lines
+  for (std::size_t c = 0; c < n1; ++c)
+    for (std::size_t a = 0; a < n1; ++a) {
+      const double coef = cy * w[a] * w[c];
+      for (std::size_t b = 0; b < n1; ++b) {
+        double s = 0.0;
+        const double* Gb = G_.row(b);
+        for (std::size_t m = 0; m < n1; ++m) s += Gb[m] * u[at(a, m, c)];
+        y[at(a, b, c)] += coef * s;
+      }
+    }
+  // z-lines
+  for (std::size_t b = 0; b < n1; ++b)
+    for (std::size_t a = 0; a < n1; ++a) {
+      const double coef = cz * w[a] * w[b];
+      for (std::size_t c = 0; c < n1; ++c) {
+        double s = 0.0;
+        const double* Gc = G_.row(c);
+        for (std::size_t m = 0; m < n1; ++m) s += Gc[m] * u[at(a, b, m)];
+        y[at(a, b, c)] += coef * s;
+      }
+    }
+}
+
+void Operators3D::apply_stiffness(const la::Vector& u, la::Vector& y) const {
+  const std::size_t npe = d_->nodes_per_element();
+  if (y.size() != u.size()) y.resize(u.size());
+  y.fill(0.0);
+  std::vector<double> lu(npe), ly(npe);
+  for (std::size_t e = 0; e < d_->num_elements(); ++e) {
+    d_->gather(u, e, lu.data());
+    elem_stiffness(lu.data(), ly.data());
+    d_->scatter_add(ly.data(), e, y);
+  }
+}
+
+void Operators3D::apply_helmholtz(double lambda, double nu, const la::Vector& u,
+                                  la::Vector& y) const {
+  apply_stiffness(u, y);
+  la::simd::scale(nu, y.data(), y.size());
+  for (std::size_t g = 0; g < u.size(); ++g) y[g] += lambda * mass_[g] * u[g];
+}
+
+la::Vector Operators3D::helmholtz_diag(double lambda, double nu) const {
+  la::Vector dg(d_->num_nodes());
+  for (std::size_t g = 0; g < dg.size(); ++g) dg[g] = lambda * mass_[g] + nu * stiff_diag_[g];
+  return dg;
+}
+
+void Operators3D::elem_derivs(const double* u, double* dx, double* dy, double* dz) const {
+  const int P = d_->order();
+  const auto n1 = static_cast<std::size_t>(P) + 1;
+  const auto& D = d_->diff_matrix();
+  auto at = [n1](std::size_t a, std::size_t b, std::size_t c) { return (c * n1 + b) * n1 + a; };
+  for (std::size_t c = 0; c < n1; ++c)
+    for (std::size_t b = 0; b < n1; ++b)
+      for (std::size_t a = 0; a < n1; ++a) {
+        double sx = 0.0, sy = 0.0, sz = 0.0;
+        for (std::size_t m = 0; m < n1; ++m) {
+          sx += D(a, m) * u[at(m, b, c)];
+          sy += D(b, m) * u[at(a, m, c)];
+          sz += D(c, m) * u[at(a, b, m)];
+        }
+        dx[at(a, b, c)] = rx_ * sx;
+        dy[at(a, b, c)] = ry_ * sy;
+        dz[at(a, b, c)] = rz_ * sz;
+      }
+}
+
+void Operators3D::gradient(const la::Vector& u, la::Vector& ddx, la::Vector& ddy,
+                           la::Vector& ddz) const {
+  const std::size_t n = d_->num_nodes();
+  const std::size_t npe = d_->nodes_per_element();
+  const int P = d_->order();
+  const auto& w = d_->rule().weights;
+  for (la::Vector* v : {&ddx, &ddy, &ddz}) {
+    if (v->size() != n) v->resize(n);
+    v->fill(0.0);
+  }
+  std::vector<double> lu(npe), dx(npe), dy(npe), dz(npe);
+  const auto n1 = static_cast<std::size_t>(P) + 1;
+  for (std::size_t e = 0; e < d_->num_elements(); ++e) {
+    d_->gather(u, e, lu.data());
+    elem_derivs(lu.data(), dx.data(), dy.data(), dz.data());
+    std::size_t k = 0;
+    for (std::size_t c = 0; c < n1; ++c)
+      for (std::size_t b = 0; b < n1; ++b)
+        for (std::size_t a = 0; a < n1; ++a, ++k) {
+          const double m = jac_ * w[a] * w[b] * w[c];
+          dx[k] *= m;
+          dy[k] *= m;
+          dz[k] *= m;
+        }
+    d_->scatter_add(dx.data(), e, ddx);
+    d_->scatter_add(dy.data(), e, ddy);
+    d_->scatter_add(dz.data(), e, ddz);
+  }
+  for (std::size_t g = 0; g < n; ++g) {
+    ddx[g] /= mass_[g];
+    ddy[g] /= mass_[g];
+    ddz[g] /= mass_[g];
+  }
+}
+
+void Operators3D::divergence(const la::Vector& u, const la::Vector& v, const la::Vector& w,
+                             la::Vector& div) const {
+  la::Vector ux, uy, uz, vx, vy, vz, wx, wy, wz;
+  gradient(u, ux, uy, uz);
+  gradient(v, vx, vy, vz);
+  gradient(w, wx, wy, wz);
+  if (div.size() != u.size()) div.resize(u.size());
+  for (std::size_t g = 0; g < u.size(); ++g) div[g] = ux[g] + vy[g] + wz[g];
+}
+
+void Operators3D::convection(const la::Vector& u, const la::Vector& v, const la::Vector& w,
+                             la::Vector& cu, la::Vector& cv, la::Vector& cw) const {
+  la::Vector qx, qy, qz;
+  if (cu.size() != u.size()) cu.resize(u.size());
+  if (cv.size() != u.size()) cv.resize(u.size());
+  if (cw.size() != u.size()) cw.resize(u.size());
+  gradient(u, qx, qy, qz);
+  for (std::size_t g = 0; g < u.size(); ++g)
+    cu[g] = u[g] * qx[g] + v[g] * qy[g] + w[g] * qz[g];
+  gradient(v, qx, qy, qz);
+  for (std::size_t g = 0; g < u.size(); ++g)
+    cv[g] = u[g] * qx[g] + v[g] * qy[g] + w[g] * qz[g];
+  gradient(w, qx, qy, qz);
+  for (std::size_t g = 0; g < u.size(); ++g)
+    cw[g] = u[g] * qx[g] + v[g] * qy[g] + w[g] * qz[g];
+}
+
+double Operators3D::integral(const la::Vector& u) const {
+  double s = 0.0;
+  for (std::size_t g = 0; g < u.size(); ++g) s += mass_[g] * u[g];
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+
+HelmholtzSolver3D::HelmholtzSolver3D(const Operators3D& ops, double lambda, double nu,
+                                     std::vector<HexFace> dirichlet_faces)
+    : ops_(&ops), lambda_(lambda), nu_(nu) {
+  const auto& d = ops.disc();
+  is_dirichlet_.assign(d.num_nodes(), 0);
+  for (HexFace f : dirichlet_faces)
+    for (std::size_t g : d.face_nodes(f)) is_dirichlet_[g] = 1;
+  for (std::size_t g = 0; g < is_dirichlet_.size(); ++g)
+    if (is_dirichlet_[g]) dnodes_.push_back(g);
+  precond_diag_ = ops.helmholtz_diag(lambda, nu);
+  for (std::size_t g : dnodes_) precond_diag_[g] = 1.0;
+}
+
+la::CgResult HelmholtzSolver3D::solve(const la::Vector& f,
+                                      const std::function<double(double, double, double)>& g,
+                                      la::Vector& u) {
+  const auto& d = ops_->disc();
+  la::Vector bc(dnodes_.size());
+  for (std::size_t k = 0; k < dnodes_.size(); ++k)
+    bc[k] = g(d.node_x(dnodes_[k]), d.node_y(dnodes_[k]), d.node_z(dnodes_[k]));
+  return solve_with_values(f, bc, u);
+}
+
+la::CgResult HelmholtzSolver3D::solve_with_values(const la::Vector& f,
+                                                  const la::Vector& bc_values, la::Vector& u) {
+  const auto& d = ops_->disc();
+  const std::size_t n = d.num_nodes();
+  const auto& M = ops_->mass_diag();
+
+  la::Vector tmp_in(n), tmp_out(n);
+  la::LinearOperator op = [&](const double* x, double* y) {
+    for (std::size_t gi = 0; gi < n; ++gi) tmp_in[gi] = is_dirichlet_[gi] ? 0.0 : x[gi];
+    ops_->apply_helmholtz(lambda_, nu_, tmp_in, tmp_out);
+    for (std::size_t gi = 0; gi < n; ++gi) y[gi] = is_dirichlet_[gi] ? x[gi] : tmp_out[gi];
+  };
+
+  la::Vector b(n);
+  for (std::size_t gi = 0; gi < n; ++gi) b[gi] = M[gi] * f[gi];
+
+  la::Vector lift(n, 0.0);
+  if (!dnodes_.empty()) {
+    for (std::size_t k = 0; k < dnodes_.size(); ++k) lift[dnodes_[k]] = bc_values[k];
+    la::Vector Alift(n);
+    ops_->apply_helmholtz(lambda_, nu_, lift, Alift);
+    for (std::size_t gi = 0; gi < n; ++gi) b[gi] -= Alift[gi];
+  }
+  for (std::size_t gi = 0; gi < n; ++gi)
+    if (is_dirichlet_[gi]) b[gi] = 0.0;
+
+  if (pure_neumann() && lambda_ == 0.0) {
+    double sum_b = 0.0, sum_m = 0.0;
+    for (std::size_t gi = 0; gi < n; ++gi) {
+      sum_b += b[gi];
+      sum_m += M[gi];
+    }
+    const double shift = sum_b / sum_m;
+    for (std::size_t gi = 0; gi < n; ++gi) b[gi] -= M[gi] * shift;
+  }
+
+  la::Vector u0(n, 0.0);
+  projector_.predict(op, b, u0);
+  auto res = la::cg_solve(op, b, u0, la::jacobi_preconditioner(precond_diag_), opt_);
+  projector_.record(op, u0);
+
+  if (u.size() != n) u.resize(n);
+  for (std::size_t gi = 0; gi < n; ++gi) u[gi] = u0[gi] + lift[gi];
+
+  if (pure_neumann() && lambda_ == 0.0) {
+    double num = 0.0, den = 0.0;
+    for (std::size_t gi = 0; gi < n; ++gi) {
+      num += M[gi] * u[gi];
+      den += M[gi];
+    }
+    for (std::size_t gi = 0; gi < n; ++gi) u[gi] -= num / den;
+  }
+  return res;
+}
+
+}  // namespace sem

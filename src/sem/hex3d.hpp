@@ -1,0 +1,145 @@
+#pragma once
+// Three-dimensional spectral-element core on structured hexahedral meshes:
+// the dimensionality NEKTAR-3D actually runs at. Provides the continuous-
+// Galerkin discretization, matrix-free tensor-product operators, and the
+// Helmholtz/Poisson solver; per-element operator cost is O(P^4) via sum
+// factorisation, the same kernel structure whose SIMDization Table 1
+// measures. (The unsteady Navier-Stokes splitting is validated in 2D in
+// ns2d.hpp; all its building blocks are provided here in 3D.)
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "la/cg.hpp"
+#include "la/dense.hpp"
+#include "la/vector.hpp"
+#include "sem/gll.hpp"
+
+namespace sem {
+
+/// Boundary tags of the box domain's six faces.
+enum class HexFace : int { X0 = 0, X1 = 1, Y0 = 2, Y1 = 3, Z0 = 4, Z1 = 5 };
+
+/// Uniform box mesh [0,Lx] x [0,Ly] x [0,Lz] with nx x ny x nz hexahedra
+/// and a continuous-Galerkin GLL discretization of order P.
+class Discretization3D {
+public:
+  Discretization3D(double Lx, double Ly, double Lz, std::size_t nx, std::size_t ny,
+                   std::size_t nz, int order);
+
+  int order() const { return P_; }
+  const GllRule& rule() const { return rule_; }
+  const la::DenseMatrix& diff_matrix() const { return D_; }
+
+  std::size_t num_nodes() const { return ncoords_; }
+  std::size_t num_elements() const { return nx_ * ny_ * nz_; }
+  std::size_t nodes_per_element() const {
+    const auto n1 = static_cast<std::size_t>(P_ + 1);
+    return n1 * n1 * n1;
+  }
+
+  double Lx() const { return Lx_; }
+  double Ly() const { return Ly_; }
+  double Lz() const { return Lz_; }
+  double dx() const { return Lx_ / static_cast<double>(nx_); }
+  double dy() const { return Ly_ / static_cast<double>(ny_); }
+  double dz() const { return Lz_ / static_cast<double>(nz_); }
+
+  /// Global node id of element e's local node (a, b, c).
+  std::size_t global_node(std::size_t e, int a, int b, int c) const;
+
+  double node_x(std::size_t g) const;
+  double node_y(std::size_t g) const;
+  double node_z(std::size_t g) const;
+
+  /// Nodes on one of the six box faces (sorted, deduplicated).
+  const std::vector<std::size_t>& face_nodes(HexFace f) const {
+    return faces_[static_cast<std::size_t>(f)];
+  }
+
+  /// Tensor-product Lagrange evaluation of a nodal field at (x, y, z).
+  double evaluate(const la::Vector& field, double x, double y, double z) const;
+
+  void gather(const la::Vector& field, std::size_t e, double* local) const;
+  void scatter_add(const double* local, std::size_t e, la::Vector& field) const;
+
+private:
+  std::size_t lattice_id(std::size_t li, std::size_t lj, std::size_t lk) const;
+
+  double Lx_, Ly_, Lz_;
+  std::size_t nx_, ny_, nz_;
+  int P_;
+  GllRule rule_;
+  la::DenseMatrix D_;
+  std::size_t ncoords_ = 0;
+  std::size_t lat_nx_ = 0, lat_ny_ = 0, lat_nz_ = 0;
+  std::array<std::vector<std::size_t>, 6> faces_;
+};
+
+/// Matrix-free 3D operators (sum-factorised tensor kernels).
+class Operators3D {
+public:
+  explicit Operators3D(const Discretization3D& d);
+
+  const Discretization3D& disc() const { return *d_; }
+  const la::Vector& mass_diag() const { return mass_; }
+
+  void apply_stiffness(const la::Vector& u, la::Vector& y) const;
+  void apply_helmholtz(double lambda, double nu, const la::Vector& u, la::Vector& y) const;
+  la::Vector helmholtz_diag(double lambda, double nu) const;
+
+  /// Nodal derivatives, mass-averaged at shared nodes (as in 2D).
+  void gradient(const la::Vector& u, la::Vector& ddx, la::Vector& ddy, la::Vector& ddz) const;
+  void divergence(const la::Vector& u, const la::Vector& v, const la::Vector& w,
+                  la::Vector& div) const;
+  /// conv_q = (u.grad) q for each velocity component q in {u, v, w}.
+  void convection(const la::Vector& u, const la::Vector& v, const la::Vector& w,
+                  la::Vector& cu, la::Vector& cv, la::Vector& cw) const;
+
+  double integral(const la::Vector& u) const;
+
+private:
+  void elem_stiffness(const double* u, double* y) const;
+  void elem_derivs(const double* u, double* dx, double* dy, double* dz) const;
+
+  const Discretization3D* d_;
+  la::Vector mass_;
+  la::Vector stiff_diag_;
+  la::DenseMatrix G_;  // D^T diag(w) D
+  double jac_;
+  double rx_, ry_, rz_;
+};
+
+/// Helmholtz/Poisson boundary-value solver in 3D (Dirichlet on selected box
+/// faces, natural elsewhere; pure-Neumann mean pinning as in 2D).
+class HelmholtzSolver3D {
+public:
+  HelmholtzSolver3D(const Operators3D& ops, double lambda, double nu,
+                    std::vector<HexFace> dirichlet_faces);
+
+  la::CgResult solve(const la::Vector& f,
+                     const std::function<double(double, double, double)>& g, la::Vector& u);
+
+  /// Variant with explicit per-node Dirichlet values aligned with
+  /// dirichlet_nodes() (the NS solver's per-step BC path).
+  la::CgResult solve_with_values(const la::Vector& f, const la::Vector& bc_values,
+                                 la::Vector& u);
+
+  const std::vector<std::size_t>& dirichlet_nodes() const { return dnodes_; }
+  bool pure_neumann() const { return dnodes_.empty(); }
+  la::CgOptions& options() { return opt_; }
+
+private:
+  const Operators3D* ops_;
+  double lambda_, nu_;
+  std::vector<std::size_t> dnodes_;
+  std::vector<char> is_dirichlet_;
+  la::Vector precond_diag_;
+  la::SolutionProjector projector_;
+  la::CgOptions opt_;
+};
+
+}  // namespace sem

@@ -1,0 +1,240 @@
+#include "sem/operators.hpp"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "la/simd.hpp"
+
+namespace sem {
+
+Operators::Operators(const Discretization& d) : d_(&d) {
+  const auto& mesh = d.mesh();
+  jac_ = 0.25 * mesh.dx() * mesh.dy();
+  rx_ = 2.0 / mesh.dx();
+  ry_ = 2.0 / mesh.dy();
+
+  const int P = d.order();
+  const auto& w = d.rule().weights;
+  const std::size_t n1 = static_cast<std::size_t>(P) + 1;
+
+  // G = D^T diag(w) D, the 1D weak derivative kernel
+  G_ = la::DenseMatrix(n1, n1);
+  const auto& D = d.diff_matrix();
+  for (std::size_t a = 0; a < n1; ++a)
+    for (std::size_t b = 0; b < n1; ++b) {
+      double s = 0.0;
+      for (std::size_t m = 0; m < n1; ++m) s += D(m, a) * w[m] * D(m, b);
+      G_(a, b) = s;
+    }
+
+  // assembled diagonal mass and stiffness
+  mass_.resize(d.num_nodes(), 0.0);
+  stiff_diag_.resize(d.num_nodes(), 0.0);
+  for (std::size_t e = 0; e < d.num_elements(); ++e) {
+    for (int b = 0; b <= P; ++b)
+      for (int a = 0; a <= P; ++a) {
+        const std::size_t g = d.global_node(e, a, b);
+        const double wa = w[static_cast<std::size_t>(a)];
+        const double wb = w[static_cast<std::size_t>(b)];
+        mass_[g] += jac_ * wa * wb;
+        stiff_diag_[g] += jac_ * (rx_ * rx_ * wb * G_(static_cast<std::size_t>(a),
+                                                      static_cast<std::size_t>(a)) +
+                                  ry_ * ry_ * wa * G_(static_cast<std::size_t>(b),
+                                                      static_cast<std::size_t>(b)));
+      }
+  }
+}
+
+void Operators::elem_stiffness(const double* u, double* y) const {
+  const int P = d_->order();
+  const std::size_t n1 = static_cast<std::size_t>(P) + 1;
+  const auto& w = d_->rule().weights;
+  const double cx = jac_ * rx_ * rx_;
+  const double cy = jac_ * ry_ * ry_;
+  for (std::size_t k = 0; k < n1 * n1; ++k) y[k] = 0.0;
+  // x-direction: for each row j, y(:,j) += cx*w_j * G u(:,j)
+  for (std::size_t j = 0; j < n1; ++j) {
+    const double* uj = u + j * n1;
+    double* yj = y + j * n1;
+    const double c = cx * w[j];
+    for (std::size_t a = 0; a < n1; ++a)
+      yj[a] += c * la::simd::dot(G_.row(a), uj, n1);
+  }
+  // y-direction: for each column i, y(i,:) += cy*w_i * G u(i,:)
+  for (std::size_t i = 0; i < n1; ++i) {
+    const double c = cy * w[i];
+    for (std::size_t b = 0; b < n1; ++b) {
+      double s = 0.0;
+      const double* Gb = G_.row(b);
+      for (std::size_t nidx = 0; nidx < n1; ++nidx) s += Gb[nidx] * u[nidx * n1 + i];
+      y[b * n1 + i] += c * s;
+    }
+  }
+}
+
+void Operators::elem_deriv_x(const double* u, double* dudx) const {
+  const std::size_t n1 = static_cast<std::size_t>(d_->order()) + 1;
+  const auto& D = d_->diff_matrix();
+  for (std::size_t j = 0; j < n1; ++j) {
+    const double* uj = u + j * n1;
+    double* oj = dudx + j * n1;
+    for (std::size_t a = 0; a < n1; ++a) oj[a] = rx_ * la::simd::dot(D.row(a), uj, n1);
+  }
+}
+
+void Operators::elem_deriv_y(const double* u, double* dudy) const {
+  const std::size_t n1 = static_cast<std::size_t>(d_->order()) + 1;
+  const auto& D = d_->diff_matrix();
+  for (std::size_t i = 0; i < n1; ++i)
+    for (std::size_t b = 0; b < n1; ++b) {
+      double s = 0.0;
+      const double* Db = D.row(b);
+      for (std::size_t nidx = 0; nidx < n1; ++nidx) s += Db[nidx] * u[nidx * n1 + i];
+      dudy[b * n1 + i] = ry_ * s;
+    }
+}
+
+void Operators::apply_stiffness(const la::Vector& u, la::Vector& y) const {
+  const std::size_t npe = d_->nodes_per_element();
+  if (y.size() != u.size()) y.resize(u.size());
+  y.fill(0.0);
+  std::vector<double> lu(npe), ly(npe);
+  for (std::size_t e = 0; e < d_->num_elements(); ++e) {
+    d_->gather(u, e, lu.data());
+    elem_stiffness(lu.data(), ly.data());
+    d_->scatter_add(ly.data(), e, y);
+  }
+}
+
+void Operators::apply_helmholtz(double lambda, double nu, const la::Vector& u,
+                                la::Vector& y) const {
+  apply_stiffness(u, y);
+  la::simd::scale(nu, y.data(), y.size());
+  for (std::size_t g = 0; g < u.size(); ++g) y[g] += lambda * mass_[g] * u[g];
+}
+
+la::Vector Operators::helmholtz_diag(double lambda, double nu) const {
+  la::Vector dgl(d_->num_nodes());
+  for (std::size_t g = 0; g < dgl.size(); ++g)
+    dgl[g] = lambda * mass_[g] + nu * stiff_diag_[g];
+  return dgl;
+}
+
+void Operators::gradient(const la::Vector& u, la::Vector& dudx, la::Vector& dudy) const {
+  const std::size_t n = d_->num_nodes();
+  const std::size_t npe = d_->nodes_per_element();
+  const int P = d_->order();
+  const auto& w = d_->rule().weights;
+  if (dudx.size() != n) dudx.resize(n);
+  if (dudy.size() != n) dudy.resize(n);
+  dudx.fill(0.0);
+  dudy.fill(0.0);
+  std::vector<double> lu(npe), dx(npe), dy(npe);
+  for (std::size_t e = 0; e < d_->num_elements(); ++e) {
+    d_->gather(u, e, lu.data());
+    elem_deriv_x(lu.data(), dx.data());
+    elem_deriv_y(lu.data(), dy.data());
+    // weight by the local mass before scatter; divide by assembled mass after
+    for (int b = 0; b <= P; ++b)
+      for (int a = 0; a <= P; ++a) {
+        const std::size_t k = static_cast<std::size_t>(b) * (P + 1) + static_cast<std::size_t>(a);
+        const double m = jac_ * w[static_cast<std::size_t>(a)] * w[static_cast<std::size_t>(b)];
+        dx[k] *= m;
+        dy[k] *= m;
+      }
+    d_->scatter_add(dx.data(), e, dudx);
+    d_->scatter_add(dy.data(), e, dudy);
+  }
+  for (std::size_t g = 0; g < n; ++g) {
+    dudx[g] /= mass_[g];
+    dudy[g] /= mass_[g];
+  }
+}
+
+void Operators::divergence(const la::Vector& u, la::Vector& v, la::Vector& div) const {
+  la::Vector dudx, dudy, dvdx, dvdy;
+  gradient(u, dudx, dudy);
+  gradient(v, dvdx, dvdy);
+  if (div.size() != u.size()) div.resize(u.size());
+  for (std::size_t g = 0; g < u.size(); ++g) div[g] = dudx[g] + dvdy[g];
+}
+
+void Operators::convection(const la::Vector& u, const la::Vector& v, la::Vector& conv_u,
+                           la::Vector& conv_v) const {
+  la::Vector dudx, dudy, dvdx, dvdy;
+  gradient(u, dudx, dudy);
+  gradient(v, dvdx, dvdy);
+  if (conv_u.size() != u.size()) conv_u.resize(u.size());
+  if (conv_v.size() != u.size()) conv_v.resize(u.size());
+  for (std::size_t g = 0; g < u.size(); ++g) {
+    conv_u[g] = u[g] * dudx[g] + v[g] * dudy[g];
+    conv_v[g] = u[g] * dvdx[g] + v[g] * dvdy[g];
+  }
+}
+
+std::vector<double> Operators::wall_shear_stress(const la::Vector& u, const la::Vector& v,
+                                                 double nu, int tag) const {
+  const auto& d = *d_;
+  const int P = d.order();
+
+  // nodal gradients of both components (mass-averaged, as in gradient())
+  la::Vector dudx, dudy, dvdx, dvdy;
+  gradient(u, dudx, dudy);
+  gradient(v, dvdx, dvdy);
+
+  // face orientation per boundary node of the tag: inward normal (nx, ny)
+  // and which velocity component is tangential (0 = u, 1 = v)
+  struct FaceInfo {
+    double nx, ny;
+    int tangential;
+  };
+  std::map<std::size_t, FaceInfo> info;
+  for (const auto& face : d.mesh().boundary_faces()) {
+    if (face.tag != tag) continue;
+    FaceInfo fi{};
+    switch (face.side) {
+      case mesh::Side::South: fi = {0.0, 1.0, 0}; break;
+      case mesh::Side::North: fi = {0.0, -1.0, 0}; break;
+      case mesh::Side::West: fi = {1.0, 0.0, 1}; break;
+      case mesh::Side::East: fi = {-1.0, 0.0, 1}; break;
+    }
+    for (int k = 0; k <= P; ++k) {
+      int a = 0, b = 0;
+      switch (face.side) {
+        case mesh::Side::South: a = k; b = 0; break;
+        case mesh::Side::North: a = k; b = P; break;
+        case mesh::Side::West: a = 0; b = k; break;
+        case mesh::Side::East: a = P; b = k; break;
+      }
+      info[d.global_node(face.cell, a, b)] = fi;
+    }
+  }
+
+  const auto& nodes = d.boundary_nodes(tag);
+  std::vector<double> tau(nodes.size(), 0.0);
+  for (std::size_t k = 0; k < nodes.size(); ++k) {
+    const auto it = info.find(nodes[k]);
+    if (it == info.end()) continue;
+    const FaceInfo& fi = it->second;
+    const std::size_t g = nodes[k];
+    const double dt_dx = fi.tangential == 0 ? dudx[g] : dvdx[g];
+    const double dt_dy = fi.tangential == 0 ? dudy[g] : dvdy[g];
+    tau[k] = nu * (fi.nx * dt_dx + fi.ny * dt_dy);
+  }
+  return tau;
+}
+
+double Operators::l2_norm(const la::Vector& u) const {
+  double s = 0.0;
+  for (std::size_t g = 0; g < u.size(); ++g) s += u[g] * mass_[g] * u[g];
+  return std::sqrt(s);
+}
+
+double Operators::integral(const la::Vector& u) const {
+  double s = 0.0;
+  for (std::size_t g = 0; g < u.size(); ++g) s += mass_[g] * u[g];
+  return s;
+}
+
+}  // namespace sem

@@ -1,0 +1,373 @@
+#include "xmp/comm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <thread>
+
+namespace xmp {
+namespace detail {
+
+struct Message {
+  int src;  // group-local source rank
+  int tag;
+  std::vector<std::uint8_t> data;
+};
+
+struct Mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Message> q;
+};
+
+/// State shared by every communicator of one run(): abort flag, trace sink,
+/// and a registry used to wake all blocked ranks on abort.
+struct RunState {
+  std::atomic<bool> aborted{false};
+  std::mutex trace_mu;
+  TraceSink trace;
+
+  std::mutex reg_mu;
+  std::vector<std::weak_ptr<Group>> groups;
+
+  void abort_all();
+};
+
+struct Group : std::enable_shared_from_this<Group> {
+  std::shared_ptr<RunState> rs;
+  std::vector<int> world_ranks;  // local rank -> world rank
+  std::vector<std::unique_ptr<Mailbox>> boxes;
+
+  // one-shot-combine collective slot
+  std::mutex cmu;
+  std::condition_variable ccv;
+  int arrived = 0;
+  std::uint64_t gen = 0;
+  std::vector<std::pair<const void*, std::size_t>> inputs;
+  std::shared_ptr<void> result;
+
+  explicit Group(std::shared_ptr<RunState> rs_, std::vector<int> wr)
+      : rs(std::move(rs_)), world_ranks(std::move(wr)), inputs(world_ranks.size()) {
+    boxes.reserve(world_ranks.size());
+    for (std::size_t i = 0; i < world_ranks.size(); ++i)
+      boxes.push_back(std::make_unique<Mailbox>());
+  }
+
+  int size() const { return static_cast<int>(world_ranks.size()); }
+
+  void check_abort() const {
+    if (rs->aborted.load(std::memory_order_relaxed)) throw AbortedError{};
+  }
+
+  void wake_all() {
+    {
+      std::lock_guard lk(cmu);
+      ccv.notify_all();
+    }
+    for (auto& b : boxes) {
+      std::lock_guard lk(b->mu);
+      b->cv.notify_all();
+    }
+  }
+
+  using CombineFn =
+      std::function<std::shared_ptr<void>(const std::vector<std::pair<const void*, std::size_t>>&)>;
+
+  /// All ranks enter; the last to arrive runs `combine` exactly once over
+  /// every rank's (ptr, bytes) input; every rank leaves with the shared
+  /// result. Inputs point into callers' stacks, which stay alive because
+  /// those callers are blocked here until the generation advances.
+  std::shared_ptr<void> collective(int rank, const void* ptr, std::size_t bytes,
+                                   const CombineFn& combine) {
+    std::unique_lock lk(cmu);
+    check_abort();
+    const std::uint64_t mygen = gen;
+    inputs[static_cast<std::size_t>(rank)] = {ptr, bytes};
+    std::shared_ptr<void> out;
+    if (++arrived == size()) {
+      result = combine(inputs);
+      out = result;
+      arrived = 0;
+      ++gen;
+      ccv.notify_all();
+    } else {
+      ccv.wait(lk, [&] {
+        return gen != mygen || rs->aborted.load(std::memory_order_relaxed);
+      });
+      check_abort();
+      out = result;
+    }
+    return out;
+  }
+
+  void send(int src, int dst, int tag, const void* data, std::size_t bytes) {
+    check_abort();
+    if (dst < 0 || dst >= size()) throw std::out_of_range("xmp: send dst");
+    {
+      std::lock_guard tl(rs->trace_mu);
+      if (rs->trace)
+        rs->trace(TraceEvent{world_ranks[static_cast<std::size_t>(src)],
+                             world_ranks[static_cast<std::size_t>(dst)], bytes, tag});
+    }
+    Mailbox& box = *boxes[static_cast<std::size_t>(dst)];
+    Message m{src, tag, {}};
+    m.data.resize(bytes);
+    if (bytes) std::memcpy(m.data.data(), data, bytes);
+    {
+      std::lock_guard lk(box.mu);
+      box.q.push_back(std::move(m));
+    }
+    box.cv.notify_all();
+  }
+
+  std::vector<std::uint8_t> recv(int me, int src, int tag, int* out_src, int* out_tag) {
+    if (src != kAnySource && (src < 0 || src >= size()))
+      throw std::out_of_range("xmp: recv src");
+    Mailbox& box = *boxes[static_cast<std::size_t>(me)];
+    std::unique_lock lk(box.mu);
+    auto match = [&]() -> std::deque<Message>::iterator {
+      for (auto it = box.q.begin(); it != box.q.end(); ++it)
+        if ((src == kAnySource || it->src == src) && (tag == kAnyTag || it->tag == tag))
+          return it;
+      return box.q.end();
+    };
+    std::deque<Message>::iterator it;
+    box.cv.wait(lk, [&] {
+      it = match();
+      return it != box.q.end() || rs->aborted.load(std::memory_order_relaxed);
+    });
+    check_abort();
+    Message m = std::move(*it);
+    box.q.erase(it);
+    lk.unlock();
+    if (out_src) *out_src = m.src;
+    if (out_tag) *out_tag = m.tag;
+    return std::move(m.data);
+  }
+};
+
+void RunState::abort_all() {
+  aborted.store(true);
+  std::lock_guard lk(reg_mu);
+  for (auto& w : groups)
+    if (auto g = w.lock()) g->wake_all();
+}
+
+namespace {
+std::shared_ptr<Group> make_group(const std::shared_ptr<RunState>& rs, std::vector<int> wr) {
+  auto g = std::make_shared<Group>(rs, std::move(wr));
+  std::lock_guard lk(rs->reg_mu);
+  rs->groups.push_back(g);
+  return g;
+}
+}  // namespace
+
+}  // namespace detail
+
+int Comm::size() const { return group_ ? group_->size() : 0; }
+
+int Comm::world_rank() const {
+  if (!group_) throw std::logic_error("xmp: invalid comm");
+  return group_->world_ranks[static_cast<std::size_t>(rank_)];
+}
+
+void Comm::send_bytes(int dst, int tag, const void* data, std::size_t bytes) const {
+  if (!group_) throw std::logic_error("xmp: invalid comm");
+  group_->send(rank_, dst, tag, data, bytes);
+}
+
+std::vector<std::uint8_t> Comm::recv_bytes(int src, int tag, int* out_src, int* out_tag) const {
+  if (!group_) throw std::logic_error("xmp: invalid comm");
+  return group_->recv(rank_, src, tag, out_src, out_tag);
+}
+
+void Comm::barrier() const {
+  if (!group_) throw std::logic_error("xmp: invalid comm");
+  group_->collective(rank_, nullptr, 0,
+                     [](const auto&) { return std::make_shared<int>(0); });
+}
+
+void Comm::set_trace(TraceSink sink) const {
+  if (!group_) throw std::logic_error("xmp: invalid comm");
+  std::lock_guard lk(group_->rs->trace_mu);
+  group_->rs->trace = std::move(sink);
+}
+
+Comm Comm::split(int color, int key) const {
+  if (!group_) throw std::logic_error("xmp: invalid comm");
+  struct In {
+    int color, key, rank;
+  };
+  struct Out {
+    // per old-rank: the new group (may be null) and new rank
+    std::vector<std::shared_ptr<detail::Group>> groups;
+    std::vector<int> new_rank;
+  };
+  In mine{color, key, rank_};
+  auto res = group_->collective(rank_, &mine, sizeof mine, [this](const auto& ins) {
+    const int n = static_cast<int>(ins.size());
+    std::vector<In> all(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r)
+      std::memcpy(&all[static_cast<std::size_t>(r)], ins[static_cast<std::size_t>(r)].first,
+                  sizeof(In));
+    auto out = std::make_shared<Out>();
+    out->groups.resize(static_cast<std::size_t>(n));
+    out->new_rank.assign(static_cast<std::size_t>(n), -1);
+
+    std::map<int, std::vector<In>> by_color;
+    for (const auto& in : all)
+      if (in.color != kUndefined) by_color[in.color].push_back(in);
+    for (auto& [c, members] : by_color) {
+      std::sort(members.begin(), members.end(), [](const In& a, const In& b) {
+        return a.key != b.key ? a.key < b.key : a.rank < b.rank;
+      });
+      std::vector<int> wr;
+      wr.reserve(members.size());
+      for (const auto& m : members)
+        wr.push_back(group_->world_ranks[static_cast<std::size_t>(m.rank)]);
+      auto g = detail::make_group(group_->rs, std::move(wr));
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        out->groups[static_cast<std::size_t>(members[i].rank)] = g;
+        out->new_rank[static_cast<std::size_t>(members[i].rank)] = static_cast<int>(i);
+      }
+    }
+    return std::shared_ptr<void>(out);
+  });
+  auto* out = static_cast<Out*>(res.get());
+  auto g = out->groups[static_cast<std::size_t>(rank_)];
+  if (!g) return Comm{};
+  return Comm(g, out->new_rank[static_cast<std::size_t>(rank_)]);
+}
+
+namespace {
+
+/// Shared result of a byte-collecting collective: every rank's contribution.
+using Blobs = std::vector<std::vector<std::uint8_t>>;
+
+std::shared_ptr<Blobs> collect_bytes(const std::shared_ptr<detail::Group>& g, int rank,
+                                     const void* ptr, std::size_t bytes) {
+  auto res = g->collective(rank, ptr, bytes, [](const auto& ins) {
+    auto blobs = std::make_shared<Blobs>(ins.size());
+    for (std::size_t r = 0; r < ins.size(); ++r) {
+      (*blobs)[r].resize(ins[r].second);
+      if (ins[r].second) std::memcpy((*blobs)[r].data(), ins[r].first, ins[r].second);
+    }
+    return std::shared_ptr<void>(blobs);
+  });
+  return std::static_pointer_cast<Blobs>(res);
+}
+
+}  // namespace
+
+// ---- collectives built on collect_bytes ------------------------------------
+
+std::shared_ptr<const std::vector<std::vector<std::uint8_t>>> Comm::collect_bytes_all(
+    const void* ptr, std::size_t bytes) const {
+  if (!group_) throw std::logic_error("xmp: invalid comm");
+  return collect_bytes(group_, rank_, ptr, bytes);
+}
+
+double Comm::allreduce(double v, Op op) const {
+  auto blobs = collect_bytes(group_, rank_, &v, sizeof v);
+  double acc = 0.0;
+  bool first = true;
+  for (const auto& b : *blobs) {
+    double x;
+    std::memcpy(&x, b.data(), sizeof x);
+    if (first) {
+      acc = x;
+      first = false;
+    } else {
+      switch (op) {
+        case Op::Sum: acc += x; break;
+        case Op::Min: acc = std::min(acc, x); break;
+        case Op::Max: acc = std::max(acc, x); break;
+      }
+    }
+  }
+  return acc;
+}
+
+std::int64_t Comm::allreduce(std::int64_t v, Op op) const {
+  auto blobs = collect_bytes(group_, rank_, &v, sizeof v);
+  std::int64_t acc = 0;
+  bool first = true;
+  for (const auto& b : *blobs) {
+    std::int64_t x;
+    std::memcpy(&x, b.data(), sizeof x);
+    if (first) {
+      acc = x;
+      first = false;
+    } else {
+      switch (op) {
+        case Op::Sum: acc += x; break;
+        case Op::Min: acc = std::min(acc, x); break;
+        case Op::Max: acc = std::max(acc, x); break;
+      }
+    }
+  }
+  return acc;
+}
+
+std::vector<double> Comm::allreduce(std::span<const double> v, Op op) const {
+  auto blobs = collect_bytes(group_, rank_, v.data(), v.size() * sizeof(double));
+  std::vector<double> acc(v.size());
+  bool first = true;
+  for (const auto& b : *blobs) {
+    if (b.size() != v.size() * sizeof(double))
+      throw std::runtime_error("xmp: allreduce length mismatch");
+    const double* x = reinterpret_cast<const double*>(b.data());
+    if (first) {
+      std::copy(x, x + v.size(), acc.begin());
+      first = false;
+    } else {
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        switch (op) {
+          case Op::Sum: acc[i] += x[i]; break;
+          case Op::Min: acc[i] = std::min(acc[i], x[i]); break;
+          case Op::Max: acc[i] = std::max(acc[i], x[i]); break;
+        }
+      }
+    }
+  }
+  return acc;
+}
+
+void run(int nranks, const std::function<void(Comm&)>& fn) {
+  if (nranks <= 0) throw std::invalid_argument("xmp: nranks must be positive");
+  auto rs = std::make_shared<detail::RunState>();
+  std::vector<int> wr(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) wr[static_cast<std::size_t>(i)] = i;
+  auto world = detail::make_group(rs, std::move(wr));
+
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm c(world, r);
+      try {
+        fn(c);
+      } catch (...) {
+        {
+          std::lock_guard lk(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        rs->abort_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) {
+    // Surface the root-cause failure, not the secondary AbortedErrors.
+    try {
+      std::rethrow_exception(first_error);
+    } catch (const AbortedError&) {
+      throw;
+    }
+  }
+}
+
+}  // namespace xmp

@@ -1,0 +1,254 @@
+#pragma once
+// xmp — an in-process message-passing runtime with MPI-like semantics.
+//
+// The paper's Multilevel Communicating Interface (MCI, Sec. 3.1) is an
+// algorithm over MPI communicators: the World communicator is split into
+// topology groups (L2), task groups (L3) and interface groups (L4), and all
+// coupling traffic flows point-to-point between group roots. We reproduce
+// that algorithm faithfully on an in-process runtime where each rank is a
+// std::thread:
+//   * communicators with rank/size, collective split (color/key),
+//   * blocking tagged p2p send/recv (any-source supported),
+//   * collectives: barrier, bcast, gather(v), scatter(v), allgather(v),
+//     reduce/allreduce,
+//   * a traffic trace hook so tests and the machine model can observe the
+//     exact message pattern an algorithm generates.
+//
+// A failed rank (uncaught exception) aborts the whole run: every blocked
+// rank wakes and throws AbortedError, and xmp::run rethrows the original
+// exception to the caller, so tests fail loudly instead of deadlocking.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace xmp {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+/// Color passed to split() by ranks that do not join any new communicator.
+inline constexpr int kUndefined = -1;
+
+/// Thrown in ranks blocked on communication when another rank fails.
+struct AbortedError : std::runtime_error {
+  AbortedError() : std::runtime_error("xmp: run aborted by failure in another rank") {}
+};
+
+/// One observed point-to-point message (world-rank endpoints).
+struct TraceEvent {
+  int src_world;
+  int dst_world;
+  std::size_t bytes;
+  int tag;
+};
+using TraceSink = std::function<void(const TraceEvent&)>;
+
+enum class Op { Sum, Min, Max };
+
+namespace detail {
+struct Group;
+struct RunState;
+}  // namespace detail
+
+/// Rank-local handle to a communicator. Cheap to copy; all copies refer to
+/// the same group. Thread-affine: a Comm must only be used by the rank
+/// (thread) it was created for.
+class Comm {
+public:
+  Comm() = default;
+
+  int rank() const { return rank_; }
+  int size() const;
+  int world_rank() const;
+  bool valid() const { return group_ != nullptr; }
+
+  /// Collective. Ranks passing the same color land in the same new
+  /// communicator, ordered by (key, old rank). color==kUndefined yields an
+  /// invalid Comm for that rank.
+  Comm split(int color, int key) const;
+
+  // --- point-to-point -----------------------------------------------------
+  void send_bytes(int dst, int tag, const void* data, std::size_t bytes) const;
+  /// Blocking receive; src may be kAnySource, tag may be kAnyTag.
+  /// Fills out_src/out_tag when non-null.
+  std::vector<std::uint8_t> recv_bytes(int src, int tag, int* out_src = nullptr,
+                                       int* out_tag = nullptr) const;
+
+  template <class T>
+  void send(int dst, int tag, std::span<const T> v) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dst, tag, v.data(), v.size() * sizeof(T));
+  }
+  template <class T>
+  void send(int dst, int tag, const std::vector<T>& v) const {
+    send(dst, tag, std::span<const T>(v));
+  }
+  void send_value_double(int dst, int tag, double v) const { send_bytes(dst, tag, &v, sizeof v); }
+
+  template <class T>
+  std::vector<T> recv(int src, int tag, int* out_src = nullptr) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto raw = recv_bytes(src, tag, out_src);
+    if (raw.size() % sizeof(T) != 0) throw std::runtime_error("xmp: recv size mismatch");
+    std::vector<T> v(raw.size() / sizeof(T));
+    std::memcpy(v.data(), raw.data(), raw.size());
+    return v;
+  }
+
+  // --- collectives ---------------------------------------------------------
+  void barrier() const;
+
+  template <class T>
+  void bcast(std::vector<T>& data, int root) const;
+
+  /// Variable-length gather: root receives the concatenation (with per-rank
+  /// offsets); non-roots receive empty.
+  template <class T>
+  std::vector<T> gatherv(std::span<const T> mine, int root,
+                         std::vector<std::size_t>* counts = nullptr) const;
+
+  template <class T>
+  std::vector<T> allgatherv(std::span<const T> mine,
+                            std::vector<std::size_t>* counts = nullptr) const;
+
+  /// Root provides `parts[r]` for each rank r; every rank returns its part.
+  template <class T>
+  std::vector<T> scatterv(const std::vector<std::vector<T>>& parts, int root) const;
+
+  double allreduce(double v, Op op) const;
+  std::int64_t allreduce(std::int64_t v, Op op) const;
+  /// Element-wise allreduce of equal-length vectors.
+  std::vector<double> allreduce(std::span<const double> v, Op op) const;
+
+  /// Install a sink observing every p2p message in the whole run (world
+  /// scope). Pass nullptr to clear. Not thread-safe against concurrent
+  /// traffic: set it while ranks are quiescent (e.g., right after run()
+  /// entry, guarded by a barrier).
+  void set_trace(TraceSink sink) const;
+
+  /// Implementation primitive for the templated collectives: every rank
+  /// contributes a byte blob and receives the full per-rank set. Public so
+  /// the header templates below can use it; not intended as user API.
+  std::shared_ptr<const std::vector<std::vector<std::uint8_t>>> collect_bytes_all(
+      const void* ptr, std::size_t bytes) const;
+
+private:
+  friend void run(int, const std::function<void(Comm&)>&);
+  friend struct detail::Group;
+  Comm(std::shared_ptr<detail::Group> g, int rank) : group_(std::move(g)), rank_(rank) {}
+
+  std::shared_ptr<detail::Group> group_;
+  int rank_ = -1;
+};
+
+// ---- templated collectives --------------------------------------------------
+
+template <class T>
+void Comm::bcast(std::vector<T>& data, int root) const {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const bool am_root = rank() == root;
+  auto blobs = collect_bytes_all(am_root ? data.data() : nullptr,
+                                 am_root ? data.size() * sizeof(T) : 0);
+  const auto& src = (*blobs)[static_cast<std::size_t>(root)];
+  if (src.size() % sizeof(T) != 0) throw std::runtime_error("xmp: bcast size mismatch");
+  if (!am_root) {
+    data.resize(src.size() / sizeof(T));
+    if (!src.empty()) std::memcpy(data.data(), src.data(), src.size());
+  }
+}
+
+template <class T>
+std::vector<T> Comm::gatherv(std::span<const T> mine, int root,
+                             std::vector<std::size_t>* counts) const {
+  static_assert(std::is_trivially_copyable_v<T>);
+  auto blobs = collect_bytes_all(mine.data(), mine.size() * sizeof(T));
+  std::vector<T> out;
+  if (rank() != root) {
+    if (counts) counts->clear();
+    return out;
+  }
+  if (counts) counts->clear();
+  for (const auto& b : *blobs) {
+    const std::size_t k = b.size() / sizeof(T);
+    if (counts) counts->push_back(k);
+    const std::size_t off = out.size();
+    out.resize(off + k);
+    if (k) std::memcpy(out.data() + off, b.data(), b.size());
+  }
+  return out;
+}
+
+template <class T>
+std::vector<T> Comm::allgatherv(std::span<const T> mine,
+                                std::vector<std::size_t>* counts) const {
+  static_assert(std::is_trivially_copyable_v<T>);
+  auto blobs = collect_bytes_all(mine.data(), mine.size() * sizeof(T));
+  std::vector<T> out;
+  if (counts) counts->clear();
+  for (const auto& b : *blobs) {
+    const std::size_t k = b.size() / sizeof(T);
+    if (counts) counts->push_back(k);
+    const std::size_t off = out.size();
+    out.resize(off + k);
+    if (k) std::memcpy(out.data() + off, b.data(), b.size());
+  }
+  return out;
+}
+
+template <class T>
+std::vector<T> Comm::scatterv(const std::vector<std::vector<T>>& parts, int root) const {
+  static_assert(std::is_trivially_copyable_v<T>);
+  // Root serialises [n, count_0..count_{n-1}, payload...] once; every rank
+  // slices out its own part.
+  std::vector<std::uint8_t> packed;
+  if (rank() == root) {
+    if (parts.size() != static_cast<std::size_t>(size()))
+      throw std::invalid_argument("xmp: scatterv parts size != comm size");
+    std::size_t total = 0;
+    for (const auto& p : parts) total += p.size();
+    packed.resize(sizeof(std::size_t) * (1 + parts.size()) + total * sizeof(T));
+    std::uint8_t* w = packed.data();
+    const std::size_t n = parts.size();
+    std::memcpy(w, &n, sizeof n);
+    w += sizeof n;
+    for (const auto& p : parts) {
+      const std::size_t k = p.size();
+      std::memcpy(w, &k, sizeof k);
+      w += sizeof k;
+    }
+    for (const auto& p : parts) {
+      if (!p.empty()) std::memcpy(w, p.data(), p.size() * sizeof(T));
+      w += p.size() * sizeof(T);
+    }
+  }
+  auto blobs = collect_bytes_all(packed.data(), packed.size());
+  const auto& b = (*blobs)[static_cast<std::size_t>(root)];
+  const std::uint8_t* r = b.data();
+  std::size_t n;
+  std::memcpy(&n, r, sizeof n);
+  r += sizeof n;
+  std::vector<std::size_t> cnt(n);
+  std::memcpy(cnt.data(), r, n * sizeof(std::size_t));
+  r += n * sizeof(std::size_t);
+  std::size_t off = 0;
+  for (int i = 0; i < rank(); ++i) off += cnt[static_cast<std::size_t>(i)];
+  std::vector<T> out(cnt[static_cast<std::size_t>(rank())]);
+  if (!out.empty()) std::memcpy(out.data(), r + off * sizeof(T), out.size() * sizeof(T));
+  return out;
+}
+
+/// Launch `nranks` threads, each running fn with its world communicator.
+/// Rethrows the first rank failure after all threads have stopped.
+void run(int nranks, const std::function<void(Comm&)>& fn);
+
+}  // namespace xmp

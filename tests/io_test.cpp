@@ -1,0 +1,103 @@
+// Tests for the multiscale VTK writers: structural validity of the output
+// (counts, section headers, data sizes) for all three descriptions.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/vtk.hpp"
+#include "mesh/quadmesh.hpp"
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+std::size_t count_lines_after(const std::string& text, const std::string& marker) {
+  const auto pos = text.find(marker);
+  if (pos == std::string::npos) return 0;
+  // value follows the marker on the same line
+  std::istringstream is(text.substr(pos + marker.size()));
+  std::size_t n = 0;
+  is >> n;
+  return n;
+}
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& name) : path("/tmp/nektarg_io_" + name) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(IoVtk, SemFieldFileStructure) {
+  auto m = mesh::QuadMesh::channel(2.0, 1.0, 4, 2);
+  sem::Discretization d(m, 3);
+  la::Vector u(d.num_nodes());
+  for (std::size_t g = 0; g < d.num_nodes(); ++g) u[g] = d.node_x(g);
+  TempFile tf("sem.vtk");
+  io::write_sem_vtk(tf.path, d, {{"u", &u}});
+  const auto text = slurp(tf.path);
+  EXPECT_NE(text.find("DATASET UNSTRUCTURED_GRID"), std::string::npos);
+  EXPECT_EQ(count_lines_after(text, "POINTS "), d.num_nodes());
+  // 8 elements x 3x3 sub-quads
+  EXPECT_EQ(count_lines_after(text, "CELLS "), 8u * 9u);
+  EXPECT_NE(text.find("SCALARS u double 1"), std::string::npos);
+}
+
+TEST(IoVtk, SemFieldSizeMismatchThrows) {
+  auto m = mesh::QuadMesh::channel(2.0, 1.0, 2, 1);
+  sem::Discretization d(m, 2);
+  la::Vector bad(3);
+  TempFile tf("bad.vtk");
+  EXPECT_THROW(io::write_sem_vtk(tf.path, d, {{"u", &bad}}), std::invalid_argument);
+}
+
+TEST(IoVtk, DpdParticleFile) {
+  dpd::DpdParams prm;
+  prm.box = {4, 4, 4};
+  dpd::DpdSystem sys(prm, std::make_shared<dpd::NoWalls>());
+  sys.add_particle({1, 2, 3}, {0.5, 0, 0}, dpd::kSolvent);
+  sys.add_particle({2, 2, 2}, {}, dpd::kPlatelet);
+  dpd::PlateletModel model({});
+  model.add_platelet(1);
+  TempFile tf("dpd.vtk");
+  io::write_dpd_vtk(tf.path, sys, &model);
+  const auto text = slurp(tf.path);
+  EXPECT_EQ(count_lines_after(text, "POINTS "), 2u);
+  EXPECT_NE(text.find("VECTORS velocity double"), std::string::npos);
+  EXPECT_NE(text.find("SCALARS platelet_state int 1"), std::string::npos);
+  // non-platelet carries -1, platelet carries Passive = 0
+  const auto pos = text.find("SCALARS platelet_state");
+  std::istringstream tail(text.substr(text.find("default\n", pos) + 8));
+  int s0 = 9, s1 = 9;
+  tail >> s0 >> s1;
+  EXPECT_EQ(s0, -1);
+  EXPECT_EQ(s1, 0);
+}
+
+TEST(IoVtk, NetworkPolylines) {
+  nektar1d::ArterialNetwork net;
+  nektar1d::VesselParams p;
+  p.elements = 2;
+  p.order = 3;
+  const int v0 = net.add_vessel(p);
+  const int v1 = net.add_vessel(p);
+  (void)v0;
+  (void)v1;
+  TempFile tf("net.vtk");
+  io::write_network_vtk(tf.path, net);
+  const auto text = slurp(tf.path);
+  // 2 vessels x 2 elements x 4 nodes
+  EXPECT_EQ(count_lines_after(text, "POINTS "), 16u);
+  EXPECT_EQ(count_lines_after(text, "LINES "), 2u);
+  EXPECT_NE(text.find("SCALARS area double 1"), std::string::npos);
+  EXPECT_NE(text.find("SCALARS pressure double 1"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,413 @@
+// Unit tests for the la substrate: SIMD kernels, dense/sparse algebra,
+// CG + solution projection, symmetric eigensolver, statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "la/cg.hpp"
+#include "la/csr.hpp"
+#include "la/dense.hpp"
+#include "la/eig.hpp"
+#include "la/simd.hpp"
+#include "la/stats.hpp"
+#include "la/vector.hpp"
+
+namespace {
+
+std::mt19937 rng(12345);
+
+la::Vector random_vector(std::size_t n, double lo = -1.0, double hi = 1.0) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  la::Vector v(n);
+  for (auto& x : v) x = d(rng);
+  return v;
+}
+
+// ---------------- Vector ----------------
+
+TEST(Vector, AlignmentAndValueSemantics) {
+  la::Vector v(17, 3.0);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % la::kAlignment, 0u);
+  la::Vector w = v;
+  w[0] = -1.0;
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  la::Vector m = std::move(w);
+  EXPECT_DOUBLE_EQ(m[0], -1.0);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(Vector, ResizeRefills) {
+  la::Vector v(4, 1.0);
+  v.resize(8, 2.0);
+  EXPECT_EQ(v.size(), 8u);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 2.0);
+}
+
+// ---------------- SIMD kernels (Table 1 correctness) ----------------
+
+class SimdKernels : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SimdKernels, VmulMatchesScalar) {
+  const std::size_t n = GetParam();
+  auto x = random_vector(n), y = random_vector(n);
+  la::Vector z1(n), z2(n);
+  la::simd::vmul_scalar(z1.data(), x.data(), y.data(), n);
+  la::simd::vmul(z2.data(), x.data(), y.data(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(z1[i], z2[i]);
+}
+
+TEST_P(SimdKernels, DotXyzMatchesScalar) {
+  const std::size_t n = GetParam();
+  auto x = random_vector(n), y = random_vector(n), z = random_vector(n);
+  const double a = la::simd::dot_xyz_scalar(x.data(), y.data(), z.data(), n);
+  const double b = la::simd::dot_xyz(x.data(), y.data(), z.data(), n);
+  EXPECT_NEAR(a, b, 1e-12 * (1.0 + std::fabs(a)));
+}
+
+TEST_P(SimdKernels, DotXyyMatchesScalar) {
+  const std::size_t n = GetParam();
+  auto x = random_vector(n), y = random_vector(n);
+  const double a = la::simd::dot_xyy_scalar(x.data(), y.data(), n);
+  const double b = la::simd::dot_xyy(x.data(), y.data(), n);
+  EXPECT_NEAR(a, b, 1e-12 * (1.0 + std::fabs(a)));
+}
+
+TEST_P(SimdKernels, AxpyXpayScale) {
+  const std::size_t n = GetParam();
+  auto x = random_vector(n);
+  auto y0 = random_vector(n);
+  la::Vector y = y0;
+  la::simd::axpy(2.5, x.data(), y.data(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(y[i], y0[i] + 2.5 * x[i], 1e-14);
+
+  y = y0;
+  la::simd::xpay(x.data(), -0.5, y.data(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(y[i], x[i] - 0.5 * y0[i], 1e-14);
+
+  y = y0;
+  la::simd::scale(3.0, y.data(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(y[i], 3.0 * y0[i], 1e-14);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SimdKernels,
+                         ::testing::Values(0, 1, 3, 4, 7, 8, 15, 64, 1000, 4097));
+
+// ---------------- Dense ----------------
+
+TEST(Dense, MatmulAgainstHandComputed) {
+  la::DenseMatrix A(2, 3), B(3, 2);
+  int v = 1;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) A(i, j) = v++;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 2; ++j) B(i, j) = v++;
+  auto C = la::DenseMatrix::matmul(A, B);
+  // A = [1 2 3; 4 5 6], B = [7 8; 9 10; 11 12]
+  EXPECT_DOUBLE_EQ(C(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(C(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(C(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(C(1, 1), 154.0);
+}
+
+TEST(Dense, TransposeIdentityMatvec) {
+  auto I = la::DenseMatrix::identity(5);
+  auto x = random_vector(5);
+  auto y = I.matvec(x);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+  auto T = I.transposed();
+  EXPECT_DOUBLE_EQ(T.frobenius(), I.frobenius());
+}
+
+TEST(Dense, LuSolveRecoversSolution) {
+  const std::size_t n = 12;
+  la::DenseMatrix A(n, n);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) A(i, j) = d(rng);
+    A(i, i) += 4.0;  // diagonally dominant
+  }
+  auto xref = random_vector(n);
+  auto b = A.matvec(xref);
+  la::Vector x;
+  ASSERT_TRUE(la::lu_solve(A, b, x));
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-10);
+}
+
+TEST(Dense, LuSolveDetectsSingular) {
+  la::DenseMatrix A(3, 3);  // all zero
+  la::Vector b(3, 1.0), x;
+  EXPECT_FALSE(la::lu_solve(A, b, x));
+}
+
+TEST(Dense, CholeskySolve) {
+  const std::size_t n = 10;
+  // SPD matrix: A = B^T B + I
+  la::DenseMatrix B(n, n);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) B(i, j) = d(rng);
+  auto A = la::DenseMatrix::matmul(B.transposed(), B);
+  for (std::size_t i = 0; i < n; ++i) A(i, i) += 1.0;
+
+  auto xref = random_vector(n);
+  auto b = A.matvec(xref);
+  la::DenseMatrix L = A;
+  ASSERT_TRUE(la::cholesky(L));
+  la::Vector x;
+  la::cholesky_solve(L, b, x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-9);
+}
+
+TEST(Dense, CholeskyRejectsIndefinite) {
+  la::DenseMatrix A(2, 2);
+  A(0, 0) = 1.0;
+  A(1, 1) = -1.0;
+  EXPECT_FALSE(la::cholesky(A));
+}
+
+// ---------------- CSR ----------------
+
+TEST(Csr, FromTripletsMergesDuplicates) {
+  auto m = la::CsrMatrix::from_triplets(3, 3, {0, 0, 1, 2, 2}, {0, 0, 1, 2, 0},
+                                        {1.0, 2.0, 5.0, 7.0, -1.0});
+  EXPECT_EQ(m.nnz(), 4u);
+  la::Vector x(3, 1.0);
+  auto y = m.matvec(x);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 5.0);
+  EXPECT_DOUBLE_EQ(y[2], 6.0);
+}
+
+TEST(Csr, MatvecMatchesDense) {
+  const std::size_t n = 40;
+  la::DenseMatrix D(n, n);
+  std::vector<std::size_t> is, js;
+  std::vector<double> vs;
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  std::uniform_int_distribution<std::size_t> idx(0, n - 1);
+  for (int k = 0; k < 300; ++k) {
+    std::size_t i = idx(rng), j = idx(rng);
+    double v = d(rng);
+    D(i, j) += v;
+    is.push_back(i);
+    js.push_back(j);
+    vs.push_back(v);
+  }
+  auto S = la::CsrMatrix::from_triplets(n, n, is, js, vs);
+  auto x = random_vector(n);
+  auto yd = D.matvec(x);
+  auto ys = S.matvec(x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(yd[i], ys[i], 1e-12);
+}
+
+TEST(Csr, Diagonal) {
+  auto m = la::CsrMatrix::from_triplets(3, 3, {0, 1, 2, 0}, {0, 1, 2, 1},
+                                        {2.0, 3.0, 4.0, 9.0});
+  auto dvec = m.diagonal();
+  EXPECT_DOUBLE_EQ(dvec[0], 2.0);
+  EXPECT_DOUBLE_EQ(dvec[1], 3.0);
+  EXPECT_DOUBLE_EQ(dvec[2], 4.0);
+}
+
+TEST(BlockCsr, MatvecMatchesDenseAssembly) {
+  const std::size_t nb = 4, b = 3;
+  la::BlockCsr B(nb, nb, b);
+  la::DenseMatrix D(nb * b, nb * b);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  for (std::size_t i = 0; i < nb; ++i) {
+    for (std::size_t j = 0; j < nb; ++j) {
+      if ((i + j) % 2 == 1 && i != j) continue;  // sparse pattern
+      la::DenseMatrix blk(b, b);
+      for (std::size_t r = 0; r < b; ++r)
+        for (std::size_t c = 0; c < b; ++c) {
+          blk(r, c) = d(rng);
+          D(i * b + r, j * b + c) = blk(r, c);
+        }
+      B.append_block(i, j, blk);
+    }
+    B.finish_row(i);
+  }
+  auto x = random_vector(nb * b);
+  la::Vector y(nb * b);
+  B.matvec(x.data(), y.data());
+  auto yd = D.matvec(x);
+  for (std::size_t i = 0; i < nb * b; ++i) EXPECT_NEAR(y[i], yd[i], 1e-12);
+}
+
+// ---------------- CG ----------------
+
+la::CsrMatrix laplacian_1d(std::size_t n) {
+  std::vector<std::size_t> is, js;
+  std::vector<double> vs;
+  for (std::size_t i = 0; i < n; ++i) {
+    is.push_back(i); js.push_back(i); vs.push_back(2.0);
+    if (i > 0) { is.push_back(i); js.push_back(i - 1); vs.push_back(-1.0); }
+    if (i + 1 < n) { is.push_back(i); js.push_back(i + 1); vs.push_back(-1.0); }
+  }
+  return la::CsrMatrix::from_triplets(n, n, is, js, vs);
+}
+
+TEST(Cg, SolvesLaplacian) {
+  const std::size_t n = 200;
+  auto A = laplacian_1d(n);
+  la::LinearOperator op = [&](const double* x, double* y) { A.matvec(x, y); };
+  auto xref = random_vector(n);
+  auto b = A.matvec(xref);
+  la::Vector x(n, 0.0);
+  auto res = la::cg_solve(op, b, x, la::identity_preconditioner(), {.rtol = 1e-12});
+  EXPECT_TRUE(res.converged);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-6);
+}
+
+TEST(Cg, JacobiPreconditionerReducesIterations) {
+  const std::size_t n = 300;
+  // badly scaled diagonal
+  std::vector<std::size_t> is, js;
+  std::vector<double> vs;
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 1.0 + 999.0 * static_cast<double>(i) / static_cast<double>(n - 1);
+    is.push_back(i); js.push_back(i); vs.push_back(2.0 * s);
+    if (i > 0) { is.push_back(i); js.push_back(i - 1); vs.push_back(-0.5); }
+    if (i + 1 < n) { is.push_back(i); js.push_back(i + 1); vs.push_back(-0.5); }
+  }
+  auto A = la::CsrMatrix::from_triplets(n, n, is, js, vs);
+  la::LinearOperator op = [&](const double* x, double* y) { A.matvec(x, y); };
+  auto b = random_vector(n);
+  auto diag = A.diagonal();
+
+  la::Vector x1(n, 0.0), x2(n, 0.0);
+  auto r1 = la::cg_solve(op, b, x1, la::identity_preconditioner(), {.rtol = 1e-10});
+  auto r2 = la::cg_solve(op, b, x2, la::jacobi_preconditioner(diag), {.rtol = 1e-10});
+  EXPECT_TRUE(r1.converged);
+  EXPECT_TRUE(r2.converged);
+  EXPECT_LT(r2.iterations, r1.iterations);
+}
+
+TEST(Cg, ZeroRhsImmediateConvergence) {
+  auto A = laplacian_1d(10);
+  la::LinearOperator op = [&](const double* x, double* y) { A.matvec(x, y); };
+  la::Vector b(10, 0.0), x(10, 0.0);
+  auto res = la::cg_solve(op, b, x, la::identity_preconditioner());
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0u);
+}
+
+TEST(Cg, SolutionProjectorCutsIterations) {
+  // Unsteady-like sequence of solves with a smoothly varying RHS: the
+  // projected initial guess must reduce iteration counts vs a zero guess
+  // (the paper's "predicting a good initial state").
+  const std::size_t n = 400;
+  auto A = laplacian_1d(n);
+  la::LinearOperator op = [&](const double* x, double* y) { A.matvec(x, y); };
+
+  la::SolutionProjector proj(6);
+  std::size_t iters_cold = 0, iters_warm = 0;
+  for (int step = 0; step < 12; ++step) {
+    la::Vector b(n);
+    const double t = 0.05 * step;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double s = static_cast<double>(i) / static_cast<double>(n);
+      b[i] = std::sin(2 * M_PI * s + t) + 0.3 * std::cos(4 * M_PI * s - 0.5 * t);
+    }
+    la::Vector x_cold(n, 0.0);
+    auto rc = la::cg_solve(op, b, x_cold, la::identity_preconditioner(), {.rtol = 1e-10});
+
+    la::Vector x_warm;
+    proj.predict(op, b, x_warm);
+    auto rw = la::cg_solve(op, b, x_warm, la::identity_preconditioner(), {.rtol = 1e-10});
+    proj.record(op, x_warm);
+
+    if (step >= 4) {  // after warmup the basis should pay off
+      iters_cold += rc.iterations;
+      iters_warm += rw.iterations;
+    }
+    EXPECT_TRUE(rc.converged);
+    EXPECT_TRUE(rw.converged);
+  }
+  EXPECT_LT(iters_warm, iters_cold / 2);
+}
+
+// ---------------- Eig ----------------
+
+TEST(Eig, DiagonalMatrix) {
+  la::DenseMatrix A(3, 3);
+  A(0, 0) = 1.0;
+  A(1, 1) = 5.0;
+  A(2, 2) = 3.0;
+  auto e = la::eig_symmetric(A);
+  ASSERT_TRUE(e.converged);
+  EXPECT_NEAR(e.values[0], 5.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 3.0, 1e-12);
+  EXPECT_NEAR(e.values[2], 1.0, 1e-12);
+}
+
+TEST(Eig, ReconstructsMatrix) {
+  const std::size_t n = 20;
+  la::DenseMatrix A(n, n);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      A(i, j) = d(rng);
+      A(j, i) = A(i, j);
+    }
+  auto e = la::eig_symmetric(A);
+  ASSERT_TRUE(e.converged);
+  // A == V diag(l) V^T
+  la::DenseMatrix R(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < n; ++k) s += e.vecs(i, k) * e.values[k] * e.vecs(j, k);
+      R(i, j) = s;
+    }
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) EXPECT_NEAR(R(i, j), A(i, j), 1e-9);
+}
+
+TEST(Eig, OrthonormalEigenvectors) {
+  const std::size_t n = 15;
+  la::DenseMatrix A(n, n);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) A(i, j) = A(j, i) = d(rng);
+  auto e = la::eig_symmetric(A);
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = 0; b < n; ++b) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < n; ++k) s += e.vecs(k, a) * e.vecs(k, b);
+      EXPECT_NEAR(s, a == b ? 1.0 : 0.0, 1e-10);
+    }
+}
+
+// ---------------- Stats ----------------
+
+TEST(Stats, MomentsOfKnownSample) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  auto m = la::stats::moments(x);
+  EXPECT_DOUBLE_EQ(m.mean, 3.0);
+  EXPECT_DOUBLE_EQ(m.variance, 2.5);
+  EXPECT_NEAR(m.skewness, 0.0, 1e-12);
+}
+
+TEST(Stats, GaussianSampleLooksGaussian) {
+  std::normal_distribution<double> nd(0.0, 1.03);
+  std::vector<double> x(200000);
+  for (auto& v : x) v = nd(rng);
+  auto m = la::stats::moments(x);
+  EXPECT_NEAR(m.mean, 0.0, 0.02);
+  EXPECT_NEAR(m.stddev, 1.03, 0.02);
+  auto h = la::stats::histogram(x, -5.0, 5.0, 100);
+  EXPECT_LT(la::stats::gaussian_l1_distance(h, m.mean, m.stddev), 0.05);
+}
+
+TEST(Stats, HistogramMassNormalised) {
+  auto x = std::vector<double>{0.1, 0.2, 0.3, 0.9, 1.5, -2.0};
+  auto h = la::stats::histogram(x, -1.0, 1.0, 10);
+  double mass = 0.0;
+  for (double dgt : h.density) mass += dgt * h.bin_width;
+  EXPECT_NEAR(mass, 1.0, 1e-12);
+}
+
+}  // namespace

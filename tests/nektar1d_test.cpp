@@ -1,0 +1,297 @@
+// Tests for the 1D arterial solver: characteristics algebra, single-vessel
+// physics (wave speed, steady resistance), junction conservation laws,
+// windkessel dynamics, and the network generators.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nektar1d/artery.hpp"
+#include "nektar1d/network.hpp"
+#include "nektar1d/tree.hpp"
+
+namespace {
+
+nektar1d::VesselParams default_vessel() {
+  nektar1d::VesselParams p;
+  p.length = 10.0;
+  p.A0 = 0.5;
+  p.beta = 1.0e5;
+  p.elements = 8;
+  p.order = 4;
+  return p;
+}
+
+TEST(Artery, CharacteristicsRoundTrip) {
+  nektar1d::Artery a(default_vessel());
+  const double A = 0.47, U = 12.0;
+  const double w1 = a.W1(A, U), w2 = a.W2(A, U);
+  double A2, U2;
+  a.from_characteristics(w1, w2, A2, U2);
+  EXPECT_NEAR(A2, A, 1e-12);
+  EXPECT_NEAR(U2, U, 1e-12);
+}
+
+TEST(Artery, PressureTubeLaw) {
+  nektar1d::Artery a(default_vessel());
+  EXPECT_DOUBLE_EQ(a.pressure(a.params().A0), 0.0);
+  EXPECT_GT(a.pressure(1.2 * a.params().A0), 0.0);
+  EXPECT_LT(a.pressure(0.8 * a.params().A0), 0.0);
+}
+
+TEST(Artery, RestStateStaysAtRest) {
+  nektar1d::Artery a(default_vessel());
+  for (int s = 0; s < 100; ++s) a.step(1e-4);
+  for (std::size_t i = 0; i < a.num_nodes(); ++i) {
+    EXPECT_NEAR(a.A()[i], a.params().A0, 1e-12);
+    EXPECT_NEAR(a.U()[i], 0.0, 1e-12);
+  }
+}
+
+TEST(Artery, UnstableStepThrows) {
+  nektar1d::Artery a(default_vessel());
+  a.set_left_ghost(1.5 * a.params().A0, 50.0);  // strong forcing
+  // dt far above the CFL limit blows the state up; step() must detect the
+  // invalid state instead of silently returning garbage.
+  EXPECT_THROW(
+      {
+        for (int s = 0; s < 2000; ++s) a.step(5e-3);
+      },
+      std::runtime_error);
+}
+
+TEST(Network, SmallPulseTravelsAtWaveSpeed) {
+  nektar1d::ArterialNetwork net;
+  auto p = default_vessel();
+  p.length = 40.0;
+  p.elements = 32;
+  p.Kr = 0.0;  // inviscid for a clean wave-speed measurement
+  const int v = net.add_vessel(p);
+  // tiny gaussian flow pulse at the inlet
+  const double t0 = 0.01, sig = 2.5e-3, Qamp = 0.5;
+  net.set_inlet_flow(v, [=](double t) {
+    return Qamp * std::exp(-0.5 * std::pow((t - t0) / sig, 2));
+  });
+  // near-matched resistance outlet to minimise reflection
+  const double c0 = net.vessel(v).c0();
+  net.set_outlet_resistance(v, p.rho * c0 / p.A0);
+
+  // track arrival (max |U|) at x = 30 cm
+  const double dt = net.suggested_dt(0.25);
+  double t_arrive = -1.0, umax = 0.0;
+  while (net.time() < 0.2) {
+    net.step(dt);
+    // mid-node of the element containing x = 30
+    const auto& a = net.vessel(v);
+    for (std::size_t i = 0; i < a.num_nodes(); ++i) {
+      if (std::fabs(a.x_of(i) - 30.0) > 0.7) continue;
+      if (std::fabs(a.U()[i]) > umax) {
+        umax = std::fabs(a.U()[i]);
+        t_arrive = net.time();
+      }
+    }
+  }
+  ASSERT_GT(umax, 0.0);
+  const double expected = t0 + 30.0 / c0;
+  EXPECT_NEAR(t_arrive, expected, 0.15 * expected);
+}
+
+TEST(Network, SteadyResistanceOutletMatchesOhm) {
+  nektar1d::ArterialNetwork net;
+  auto p = default_vessel();
+  const int v = net.add_vessel(p);
+  const double Q0 = 2.0, R = 2.0e3;
+  net.set_inlet_flow(v, [=](double t) { return Q0 * std::min(1.0, t / 0.02); });
+  net.set_outlet_resistance(v, R);
+  const double dt = net.suggested_dt(0.25);
+  while (net.time() < 2.5) net.step(dt);
+  EXPECT_NEAR(net.flow_at(v, nektar1d::End::Right), Q0, 0.02 * Q0);
+  EXPECT_NEAR(net.flow_at(v, nektar1d::End::Left), Q0, 0.02 * Q0);
+  EXPECT_NEAR(net.pressure_at(v, nektar1d::End::Right), Q0 * R, 0.03 * Q0 * R);
+}
+
+TEST(Network, BifurcationConservesMassAndTotalPressure) {
+  nektar1d::ArterialNetwork net;
+  auto pp = default_vessel();
+  const int parent = net.add_vessel(pp);
+  auto pc = default_vessel();
+  pc.A0 = 0.3;
+  const int c1 = net.add_vessel(pc);
+  const int c2 = net.add_vessel(pc);
+  net.add_junction({{parent, nektar1d::End::Right},
+                    {c1, nektar1d::End::Left},
+                    {c2, nektar1d::End::Left}});
+  net.set_inlet_flow(parent, [](double t) { return 3.0 * std::min(1.0, t / 0.02); });
+  net.set_outlet_resistance(c1, 1.5e3);
+  net.set_outlet_resistance(c2, 1.5e3);
+  const double dt = net.suggested_dt(0.25);
+  while (net.time() < 2.0) net.step(dt);
+
+  const double Qp = net.flow_at(parent, nektar1d::End::Right);
+  const double Q1 = net.flow_at(c1, nektar1d::End::Left);
+  const double Q2 = net.flow_at(c2, nektar1d::End::Left);
+  EXPECT_NEAR(Qp, Q1 + Q2, 0.02 * Qp);
+  EXPECT_NEAR(Q1, Q2, 0.02 * Qp);  // symmetric daughters
+
+  const auto& ap = net.vessel(parent);
+  const auto& a1 = net.vessel(c1);
+  const double ptp =
+      ap.pressure(ap.A_right()) + 0.5 * pp.rho * ap.U_right() * ap.U_right();
+  const double pt1 = a1.pressure(a1.A_left()) + 0.5 * pc.rho * a1.U_left() * a1.U_left();
+  EXPECT_NEAR(ptp, pt1, 0.02 * std::fabs(ptp) + 10.0);
+}
+
+TEST(Network, MergeJunctionCombinesFlows) {
+  // two vessels merging into one (vertebrals -> basilar pattern)
+  nektar1d::ArterialNetwork net;
+  auto p = default_vessel();
+  p.A0 = 0.25;
+  const int in1 = net.add_vessel(p);
+  const int in2 = net.add_vessel(p);
+  auto pb = default_vessel();
+  pb.A0 = 0.4;
+  const int out = net.add_vessel(pb);
+  net.add_junction({{in1, nektar1d::End::Right},
+                    {in2, nektar1d::End::Right},
+                    {out, nektar1d::End::Left}});
+  net.set_inlet_flow(in1, [](double t) { return 1.0 * std::min(1.0, t / 0.02); });
+  net.set_inlet_flow(in2, [](double t) { return 0.5 * std::min(1.0, t / 0.02); });
+  net.set_outlet_resistance(out, 2.0e3);
+  const double dt = net.suggested_dt(0.25);
+  while (net.time() < 5.0) net.step(dt);
+  EXPECT_NEAR(net.flow_at(out, nektar1d::End::Right), 1.5, 0.05);
+}
+
+TEST(Network, WindkesselRelaxationTimescale) {
+  nektar1d::ArterialNetwork net;
+  auto p = default_vessel();
+  const int v = net.add_vessel(p);
+  const double Q0 = 1.0, Rp = 500.0, Rd = 4.0e3, C = 5.0e-5;
+  net.set_inlet_flow(v, [=](double t) { return Q0 * std::min(1.0, t / 0.01); });
+  net.set_outlet_rcr(v, Rp, Rd, C);
+  const double dt = net.suggested_dt(0.25);
+  // after >> Rd*C = 0.2 s (plus vessel-compliance relaxation) the outlet
+  // pressure approaches Q (Rp + Rd)
+  while (net.time() < 3.0) net.step(dt);
+  EXPECT_NEAR(net.pressure_at(v, nektar1d::End::Right), Q0 * (Rp + Rd),
+              0.05 * Q0 * (Rp + Rd));
+}
+
+TEST(Tree, FractalTreeShape) {
+  nektar1d::FractalTreeParams p;
+  p.generations = 3;
+  auto t = nektar1d::fractal_tree(p);
+  // binary tree: 1 + 2 + 4 + 8 = 15 vessels, 8 leaves
+  EXPECT_EQ(t.net.num_vessels(), 15u);
+  EXPECT_EQ(t.leaves.size(), 8u);
+  // radii shrink with generation: leaf area < root area
+  const double Aroot = t.net.vessel(t.root).params().A0;
+  for (int leaf : t.leaves) EXPECT_LT(t.net.vessel(leaf).params().A0, Aroot);
+}
+
+TEST(Tree, MurrayLawHolds) {
+  nektar1d::FractalTreeParams p;
+  p.generations = 1;
+  p.murray_gamma = 3.0;
+  p.asymmetry = 0.8;
+  auto t = nektar1d::fractal_tree(p);
+  ASSERT_EQ(t.net.num_vessels(), 3u);
+  auto radius = [&](int v) {
+    return std::sqrt(t.net.vessel(v).params().A0 / M_PI);
+  };
+  const double rp = radius(0), r1 = radius(1), r2 = radius(2);
+  EXPECT_NEAR(std::pow(rp, 3.0), std::pow(r1, 3.0) + std::pow(r2, 3.0), 1e-10);
+  EXPECT_NEAR(r1 / r2, 0.8, 1e-10);
+}
+
+TEST(Tree, FractalTreeRunsStably) {
+  nektar1d::FractalTreeParams p;
+  p.generations = 2;
+  auto t = nektar1d::fractal_tree(p);
+  t.net.set_inlet_flow(t.root, [](double tt) { return 2.0 * std::min(1.0, tt / 0.02); });
+  const double dt = t.net.suggested_dt(0.2);
+  while (t.net.time() < 0.1) t.net.step(dt);
+  // all leaves carry forward flow
+  for (int leaf : t.leaves)
+    EXPECT_GT(t.net.flow_at(leaf, nektar1d::End::Right), 0.0);
+}
+
+TEST(Cow, NetworkTopology) {
+  auto c = nektar1d::cow_network();
+  EXPECT_EQ(c.net.num_vessels(), 13u);
+  EXPECT_EQ(c.efferents.size(), 6u);
+}
+
+TEST(Cow, PulsatileFlowDistributes) {
+  auto c = nektar1d::cow_network();
+  // physiological-ish pulsatile inflows (cm^3/s)
+  auto carotid_q = [](double t) {
+    const double base = 4.0, amp = 2.0, T = 0.9;
+    return (base + amp * std::sin(2 * M_PI * t / T)) * std::min(1.0, t / 0.05);
+  };
+  auto vertebral_q = [](double t) {
+    const double base = 1.5, amp = 0.7, T = 0.9;
+    return (base + amp * std::sin(2 * M_PI * t / T)) * std::min(1.0, t / 0.05);
+  };
+  c.net.set_inlet_flow(c.left_carotid, carotid_q);
+  c.net.set_inlet_flow(c.right_carotid, carotid_q);
+  c.net.set_inlet_flow(c.left_vertebral, vertebral_q);
+  c.net.set_inlet_flow(c.right_vertebral, vertebral_q);
+
+  double dt = c.net.suggested_dt(0.2);
+  while (c.net.time() < 0.4) {
+    c.net.step(dt);
+    dt = c.net.suggested_dt(0.2);
+  }
+  // every efferent receives forward flow; totals are plausible
+  double q_out = 0.0;
+  for (int v : c.efferents) {
+    const double q = c.net.flow_at(v, nektar1d::End::Right);
+    EXPECT_GT(q, 0.0);
+    q_out += q;
+  }
+  const double q_in = c.net.flow_at(c.left_carotid, nektar1d::End::Left) +
+                      c.net.flow_at(c.right_carotid, nektar1d::End::Left) +
+                      c.net.flow_at(c.left_vertebral, nektar1d::End::Left) +
+                      c.net.flow_at(c.right_vertebral, nektar1d::End::Left);
+  // compliance stores/releases some volume over the cycle; allow 40%
+  EXPECT_NEAR(q_out, q_in, 0.4 * q_in);
+}
+
+}  // namespace
+
+namespace {
+
+TEST(Artery, DgResolutionConvergence) {
+  // steady flow through a single vessel: refining the DG mesh must reduce
+  // the deviation of the interior flow from the (constant) steady state
+  auto run = [](std::size_t elements, int order) {
+    nektar1d::ArterialNetwork net;
+    nektar1d::VesselParams p;
+    p.length = 10.0;
+    p.A0 = 0.5;
+    p.beta = 1.0e5;
+    p.elements = elements;
+    p.order = order;
+    const int v = net.add_vessel(p);
+    net.set_inlet_flow(v, [](double t) { return 2.0 * std::min(1.0, t / 0.02); });
+    net.set_outlet_resistance(v, 2.0e3);
+    const double dt = net.suggested_dt(0.25);
+    while (net.time() < 2.5) net.step(dt);
+    // steady state: Q constant along the vessel; measure max deviation
+    const auto& a = net.vessel(v);
+    double qmin = 1e300, qmax = -1e300;
+    for (std::size_t i = 0; i < a.num_nodes(); ++i) {
+      const double q = a.A()[i] * a.U()[i];
+      qmin = std::min(qmin, q);
+      qmax = std::max(qmax, q);
+    }
+    return qmax - qmin;
+  };
+  const double coarse = run(4, 2);
+  const double fine = run(12, 4);
+  EXPECT_LT(fine, coarse + 1e-12);
+  EXPECT_LT(fine, 0.02);  // fine solution is flat to 1% of Q
+}
+
+}  // namespace

@@ -1,0 +1,217 @@
+// Tests for window POD: exact reconstruction, mode orthonormality,
+// eigenspectrum structure on signal+noise data, adaptive mean/fluctuation
+// split, and the accuracy gain over standard averaging (the Fig. 7 claim).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "la/stats.hpp"
+#include "wpod/wpod.hpp"
+
+namespace {
+
+std::mt19937 rng(77);
+
+/// Synthetic "atomistic" snapshots: a smooth, slowly evolving profile plus
+/// iid thermal noise of scale sigma.
+std::vector<la::Vector> make_snapshots(std::size_t nt, std::size_t nx, double sigma,
+                                       double drift = 0.3) {
+  std::normal_distribution<double> noise(0.0, sigma);
+  std::vector<la::Vector> snaps;
+  for (std::size_t t = 0; t < nt; ++t) {
+    la::Vector u(nx);
+    const double amp = 1.0 + drift * std::sin(2.0 * M_PI * t / nt);
+    for (std::size_t i = 0; i < nx; ++i) {
+      const double x = static_cast<double>(i) / (nx - 1);
+      u[i] = amp * 4.0 * x * (1.0 - x) + noise(rng);
+    }
+    snaps.push_back(std::move(u));
+  }
+  return snaps;
+}
+
+la::Vector truth_at(std::size_t t, std::size_t nt, std::size_t nx, double drift = 0.3) {
+  la::Vector u(nx);
+  const double amp = 1.0 + drift * std::sin(2.0 * M_PI * t / nt);
+  for (std::size_t i = 0; i < nx; ++i) {
+    const double x = static_cast<double>(i) / (nx - 1);
+    u[i] = amp * 4.0 * x * (1.0 - x);
+  }
+  return u;
+}
+
+double linf(const la::Vector& a, const la::Vector& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+TEST(Wpod, FullModeReconstructionIsExact) {
+  auto snaps = make_snapshots(12, 40, 0.05);
+  auto r = wpod::analyze(snaps);
+  // reconstruct each snapshot with ALL modes
+  for (std::size_t t = 0; t < snaps.size(); ++t) {
+    la::Vector rec(40, 0.0);
+    for (std::size_t k = 0; k < r.spatial_modes.size(); ++k)
+      for (std::size_t i = 0; i < 40; ++i) rec[i] += r.temporal(t, k) * r.spatial_modes[k][i];
+    EXPECT_LT(linf(rec, snaps[t]), 1e-8);
+  }
+}
+
+TEST(Wpod, SpatialModesOrthonormal) {
+  auto snaps = make_snapshots(10, 64, 0.2);
+  auto r = wpod::analyze(snaps);
+  for (std::size_t a = 0; a < r.spatial_modes.size(); ++a)
+    for (std::size_t b = a; b < r.spatial_modes.size(); ++b) {
+      if (r.eigenvalues[a] < 1e-12 || r.eigenvalues[b] < 1e-12) continue;
+      double dot = 0.0;
+      for (std::size_t i = 0; i < 64; ++i) dot += r.spatial_modes[a][i] * r.spatial_modes[b][i];
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-8);
+    }
+}
+
+TEST(Wpod, EigenvaluesDescendAndSignalDominates) {
+  auto snaps = make_snapshots(20, 128, 0.1);
+  auto r = wpod::analyze(snaps);
+  for (std::size_t k = 1; k < r.eigenvalues.size(); ++k)
+    EXPECT_LE(r.eigenvalues[k], r.eigenvalues[k - 1] + 1e-12);
+  // signal modes tower over the thermal plateau
+  EXPECT_GT(r.eigenvalues[0], 100.0 * r.noise_floor);
+  // the adaptive split finds a small number of mean modes (profile + drift)
+  EXPECT_GE(r.k_mean, 1u);
+  EXPECT_LE(r.k_mean, 4u);
+}
+
+TEST(Wpod, MeanBeatsStandardAverageOnDriftingSignal) {
+  // With a drifting mean, the plain window average smears the drift while
+  // the WPOD mean tracks it: WPOD error must be substantially lower.
+  const std::size_t nt = 32, nx = 96;
+  const double sigma = 0.25;
+  auto snaps = make_snapshots(nt, nx, sigma);
+  auto r = wpod::analyze(snaps);
+  const auto avg = wpod::standard_average(snaps);
+
+  double err_wpod = 0.0, err_avg = 0.0;
+  for (std::size_t t = 0; t < nt; ++t) {
+    const auto truth = truth_at(t, nt, nx);
+    err_wpod += linf(r.mean_at(t), truth);
+    err_avg += linf(avg, truth);
+  }
+  EXPECT_LT(err_wpod, 0.6 * err_avg);
+}
+
+TEST(Wpod, FluctuationsLookGaussianWithInjectedSigma) {
+  const std::size_t nt = 32, nx = 256;
+  const double sigma = 1.03;  // the Fig. 7 value
+  auto snaps = make_snapshots(nt, nx, sigma, 0.2);
+  auto r = wpod::analyze(snaps);
+  std::vector<double> fluct;
+  for (std::size_t t = 0; t < nt; ++t) {
+    auto f = r.fluctuation_at(t, snaps[t]);
+    fluct.insert(fluct.end(), f.begin(), f.end());
+  }
+  auto m = la::stats::moments(fluct);
+  EXPECT_NEAR(m.mean, 0.0, 0.05);
+  EXPECT_NEAR(m.stddev, sigma, 0.08);
+  auto h = la::stats::histogram(fluct, -5.0 * sigma, 5.0 * sigma, 60);
+  EXPECT_LT(la::stats::gaussian_l1_distance(h, m.mean, m.stddev), 0.08);
+}
+
+TEST(Wpod, MaxMeanModesCapRespected) {
+  auto snaps = make_snapshots(16, 64, 0.01);  // nearly clean: many "signal" modes
+  wpod::WpodOptions opt;
+  opt.max_mean_modes = 2;
+  auto r = wpod::analyze(snaps, opt);
+  EXPECT_LE(r.k_mean, 2u);
+}
+
+TEST(Wpod, RejectsDegenerateInput) {
+  EXPECT_THROW(wpod::analyze({}), std::invalid_argument);
+  EXPECT_THROW(wpod::analyze({la::Vector(4, 1.0)}), std::invalid_argument);
+  std::vector<la::Vector> ragged;
+  ragged.push_back(la::Vector(4, 1.0));
+  ragged.push_back(la::Vector(5, 1.0));
+  EXPECT_THROW(wpod::analyze(ragged), std::invalid_argument);
+}
+
+TEST(Wpod, StandardAverageIsPerBinMean) {
+  std::vector<la::Vector> snaps;
+  snaps.push_back(la::Vector(3, 1.0));
+  snaps.push_back(la::Vector(3, 3.0));
+  auto avg = wpod::standard_average(snaps);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(avg[i], 2.0);
+}
+
+}  // namespace
+
+namespace {
+
+TEST(StreamingWpod, EmitsOnStrideAndWindowFill) {
+  wpod::StreamingWpod::Options opt;
+  opt.initial_window = 8;
+  opt.min_window = 4;
+  opt.max_window = 16;
+  opt.stride = 4;
+  wpod::StreamingWpod sw(opt);
+  std::mt19937 gen(5);
+  std::normal_distribution<double> nd(0.0, 0.1);
+  int emitted = 0;
+  for (int t = 0; t < 32; ++t) {
+    la::Vector snap(16);
+    for (auto& v : snap) v = 1.0 + nd(gen);
+    if (sw.push(std::move(snap))) ++emitted;
+  }
+  // first emission once 8 snapshots are in AND stride satisfied, then every 4
+  EXPECT_GE(emitted, 5);
+  EXPECT_EQ(sw.analyses_done(), static_cast<std::size_t>(emitted));
+}
+
+TEST(StreamingWpod, GrowsWindowOnStationaryData) {
+  wpod::StreamingWpod::Options opt;
+  opt.initial_window = 8;
+  opt.min_window = 8;
+  opt.max_window = 32;
+  opt.stride = 4;
+  opt.wpod.max_mean_modes = 0;
+  wpod::StreamingWpod sw(opt);
+  std::mt19937 gen(7);
+  std::normal_distribution<double> nd(0.0, 0.05);
+  for (int t = 0; t < 80; ++t) {
+    la::Vector snap(64);
+    for (std::size_t i = 0; i < 64; ++i)
+      snap[i] = 3.0 * std::sin(0.1 * static_cast<double>(i)) + nd(gen);
+    sw.push(std::move(snap));
+  }
+  // stationary signal: one dominant mode -> the analyzer should have grown
+  EXPECT_GT(sw.window(), 8u);
+}
+
+TEST(StreamingWpod, ShrinksWindowOnNonStationaryData) {
+  wpod::StreamingWpod::Options opt;
+  opt.initial_window = 32;
+  opt.min_window = 8;
+  opt.max_window = 32;
+  opt.stride = 8;
+  wpod::StreamingWpod sw(opt);
+  std::mt19937 gen(9);
+  std::normal_distribution<double> nd(0.0, 0.02);
+  for (int t = 0; t < 80; ++t) {
+    la::Vector snap(64);
+    // rapidly changing structure: every snapshot has a different dominant
+    // spatial pattern -> many correlated modes per window
+    for (std::size_t i = 0; i < 64; ++i)
+      snap[i] = std::sin(0.3 * static_cast<double>(i) * (1.0 + 0.15 * t)) + nd(gen);
+    sw.push(std::move(snap));
+  }
+  EXPECT_LT(sw.window(), 32u);
+}
+
+TEST(StreamingWpod, RejectsBadOptions) {
+  wpod::StreamingWpod::Options opt;
+  opt.stride = 0;
+  EXPECT_THROW(wpod::StreamingWpod{opt}, std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,283 @@
+// Tests for the xmp in-process message-passing runtime: p2p semantics,
+// collectives, hierarchical splits (the substrate MCI builds on), tracing,
+// and abort propagation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "xmp/comm.hpp"
+
+namespace {
+
+TEST(Xmp, WorldRankAndSize) {
+  xmp::run(4, [](xmp::Comm& world) {
+    EXPECT_EQ(world.size(), 4);
+    EXPECT_GE(world.rank(), 0);
+    EXPECT_LT(world.rank(), 4);
+    EXPECT_EQ(world.world_rank(), world.rank());
+  });
+}
+
+TEST(Xmp, PingPong) {
+  xmp::run(2, [](xmp::Comm& world) {
+    if (world.rank() == 0) {
+      std::vector<double> msg = {1.0, 2.0, 3.0};
+      world.send(1, 7, msg);
+      auto back = world.recv<double>(1, 8);
+      ASSERT_EQ(back.size(), 3u);
+      EXPECT_DOUBLE_EQ(back[2], 6.0);
+    } else {
+      auto m = world.recv<double>(0, 7);
+      for (auto& v : m) v *= 2.0;
+      world.send(0, 8, m);
+    }
+  });
+}
+
+TEST(Xmp, TagMatchingOutOfOrder) {
+  // A message with a later tag must not be consumed by an earlier recv.
+  xmp::run(2, [](xmp::Comm& world) {
+    if (world.rank() == 0) {
+      world.send(1, 20, std::vector<int>{20});
+      world.send(1, 10, std::vector<int>{10});
+    } else {
+      auto a = world.recv<int>(0, 10);
+      auto b = world.recv<int>(0, 20);
+      EXPECT_EQ(a[0], 10);
+      EXPECT_EQ(b[0], 20);
+    }
+  });
+}
+
+TEST(Xmp, AnySourceReceivesFromAll) {
+  xmp::run(5, [](xmp::Comm& world) {
+    if (world.rank() == 0) {
+      std::set<int> seen;
+      for (int i = 0; i < 4; ++i) {
+        int src = -1;
+        auto v = world.recv<int>(xmp::kAnySource, 3, &src);
+        EXPECT_EQ(v[0], src);
+        seen.insert(src);
+      }
+      EXPECT_EQ(seen.size(), 4u);
+    } else {
+      world.send(0, 3, std::vector<int>{world.rank()});
+    }
+  });
+}
+
+TEST(Xmp, FifoPerSenderAndTag) {
+  xmp::run(2, [](xmp::Comm& world) {
+    if (world.rank() == 0) {
+      for (int i = 0; i < 50; ++i) world.send(1, 1, std::vector<int>{i});
+    } else {
+      for (int i = 0; i < 50; ++i) {
+        auto v = world.recv<int>(0, 1);
+        EXPECT_EQ(v[0], i);
+      }
+    }
+  });
+}
+
+TEST(Xmp, Barrier) {
+  std::atomic<int> phase{0};
+  xmp::run(4, [&](xmp::Comm& world) {
+    phase.fetch_add(1);
+    world.barrier();
+    EXPECT_EQ(phase.load(), 4);  // nobody passes until all arrived
+    world.barrier();
+  });
+}
+
+TEST(Xmp, Bcast) {
+  xmp::run(4, [](xmp::Comm& world) {
+    std::vector<double> data;
+    if (world.rank() == 2) data = {3.14, 2.71};
+    world.bcast(data, 2);
+    ASSERT_EQ(data.size(), 2u);
+    EXPECT_DOUBLE_EQ(data[0], 3.14);
+  });
+}
+
+TEST(Xmp, GathervConcatenatesInRankOrder) {
+  xmp::run(4, [](xmp::Comm& world) {
+    std::vector<int> mine(static_cast<std::size_t>(world.rank()) + 1, world.rank());
+    std::vector<std::size_t> counts;
+    auto all = world.gatherv(std::span<const int>(mine), 0, &counts);
+    if (world.rank() == 0) {
+      ASSERT_EQ(counts.size(), 4u);
+      EXPECT_EQ(all.size(), 1u + 2u + 3u + 4u);
+      EXPECT_EQ(all[0], 0);
+      EXPECT_EQ(all[1], 1);
+      EXPECT_EQ(all.back(), 3);
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(Xmp, AllgathervSameEverywhere) {
+  xmp::run(3, [](xmp::Comm& world) {
+    std::vector<int> mine = {world.rank() * 10};
+    auto all = world.allgatherv(std::span<const int>(mine));
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_EQ(all[0], 0);
+    EXPECT_EQ(all[1], 10);
+    EXPECT_EQ(all[2], 20);
+  });
+}
+
+TEST(Xmp, Scatterv) {
+  xmp::run(3, [](xmp::Comm& world) {
+    std::vector<std::vector<int>> parts;
+    if (world.rank() == 1) parts = {{1}, {2, 2}, {3, 3, 3}};
+    auto mine = world.scatterv(parts, 1);
+    EXPECT_EQ(mine.size(), static_cast<std::size_t>(world.rank()) + 1);
+    for (int v : mine) EXPECT_EQ(v, world.rank() + 1);
+  });
+}
+
+TEST(Xmp, AllreduceScalarOps) {
+  xmp::run(4, [](xmp::Comm& world) {
+    const double r = world.rank();
+    EXPECT_DOUBLE_EQ(world.allreduce(r, xmp::Op::Sum), 6.0);
+    EXPECT_DOUBLE_EQ(world.allreduce(r, xmp::Op::Min), 0.0);
+    EXPECT_DOUBLE_EQ(world.allreduce(r, xmp::Op::Max), 3.0);
+    EXPECT_EQ(world.allreduce(static_cast<std::int64_t>(world.rank() + 1), xmp::Op::Sum), 10);
+  });
+}
+
+TEST(Xmp, AllreduceVector) {
+  xmp::run(3, [](xmp::Comm& world) {
+    std::vector<double> v = {1.0 * world.rank(), 1.0};
+    auto s = world.allreduce(std::span<const double>(v), xmp::Op::Sum);
+    EXPECT_DOUBLE_EQ(s[0], 3.0);
+    EXPECT_DOUBLE_EQ(s[1], 3.0);
+  });
+}
+
+TEST(Xmp, SplitByParity) {
+  xmp::run(6, [](xmp::Comm& world) {
+    xmp::Comm sub = world.split(world.rank() % 2, world.rank());
+    ASSERT_TRUE(sub.valid());
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), world.rank() / 2);
+    // Collectives inside the subcommunicator stay inside it.
+    const double sum = sub.allreduce(static_cast<double>(world.rank()), xmp::Op::Sum);
+    EXPECT_DOUBLE_EQ(sum, world.rank() % 2 == 0 ? 0.0 + 2.0 + 4.0 : 1.0 + 3.0 + 5.0);
+  });
+}
+
+TEST(Xmp, SplitUndefinedYieldsInvalid) {
+  xmp::run(4, [](xmp::Comm& world) {
+    xmp::Comm sub = world.split(world.rank() == 0 ? xmp::kUndefined : 0, 0);
+    if (world.rank() == 0) {
+      EXPECT_FALSE(sub.valid());
+    } else {
+      ASSERT_TRUE(sub.valid());
+      EXPECT_EQ(sub.size(), 3);
+    }
+  });
+}
+
+TEST(Xmp, SplitKeyOrdersRanks) {
+  xmp::run(4, [](xmp::Comm& world) {
+    // reverse ordering by key
+    xmp::Comm sub = world.split(0, -world.rank());
+    EXPECT_EQ(sub.rank(), 3 - world.rank());
+  });
+}
+
+TEST(Xmp, HierarchicalSplitL2L3L4) {
+  // The MCI pattern: world -> 2 "racks" (L2) -> 2 task groups each (L3) ->
+  // root-only interface group (L4-ish). 8 ranks.
+  xmp::run(8, [](xmp::Comm& world) {
+    const int rack = world.rank() / 4;
+    xmp::Comm l2 = world.split(rack, world.rank());
+    EXPECT_EQ(l2.size(), 4);
+    const int task = l2.rank() / 2;
+    xmp::Comm l3 = l2.split(task, l2.rank());
+    EXPECT_EQ(l3.size(), 2);
+    // L4: only rank 0 of each L3
+    xmp::Comm l4 = l3.split(l3.rank() == 0 ? 0 : xmp::kUndefined, 0);
+    if (l3.rank() == 0) {
+      ASSERT_TRUE(l4.valid());
+      EXPECT_EQ(l4.size(), 1);
+    } else {
+      EXPECT_FALSE(l4.valid());
+    }
+    // world ranks survive the nesting
+    EXPECT_EQ(world.world_rank(), world.rank());
+  });
+}
+
+TEST(Xmp, SubCommP2pIsolatedFromWorldTags) {
+  xmp::run(4, [](xmp::Comm& world) {
+    xmp::Comm sub = world.split(world.rank() % 2, world.rank());
+    // Same (peer, tag) in different communicators must not cross.
+    if (sub.rank() == 0) {
+      sub.send(1, 5, std::vector<int>{100 + world.rank()});
+    } else {
+      auto v = sub.recv<int>(0, 5);
+      EXPECT_EQ(v[0], 100 + (world.rank() % 2));
+    }
+  });
+}
+
+TEST(Xmp, TraceObservesMessages) {
+  std::mutex mu;
+  std::vector<xmp::TraceEvent> events;
+  xmp::run(3, [&](xmp::Comm& world) {
+    if (world.rank() == 0)
+      world.set_trace([&](const xmp::TraceEvent& e) {
+        std::lock_guard lk(mu);
+        events.push_back(e);
+      });
+    world.barrier();
+    if (world.rank() == 1) world.send(2, 9, std::vector<double>(8, 1.0));
+    if (world.rank() == 2) world.recv<double>(1, 9);
+    world.barrier();
+    if (world.rank() == 0) world.set_trace(nullptr);
+    world.barrier();
+  });
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].src_world, 1);
+  EXPECT_EQ(events[0].dst_world, 2);
+  EXPECT_EQ(events[0].bytes, 64u);
+  EXPECT_EQ(events[0].tag, 9);
+}
+
+TEST(Xmp, AbortPropagatesFailure) {
+  EXPECT_THROW(
+      xmp::run(3,
+               [](xmp::Comm& world) {
+                 if (world.rank() == 1) throw std::runtime_error("rank 1 died");
+                 // Others block forever; abort must wake them.
+                 world.recv<double>(1, 0);
+               }),
+      std::runtime_error);
+}
+
+TEST(Xmp, RunRejectsNonPositiveRanks) {
+  EXPECT_THROW(xmp::run(0, [](xmp::Comm&) {}), std::invalid_argument);
+}
+
+TEST(Xmp, LargePayloadIntegrity) {
+  xmp::run(2, [](xmp::Comm& world) {
+    const std::size_t n = 1 << 18;
+    if (world.rank() == 0) {
+      std::vector<double> big(n);
+      std::iota(big.begin(), big.end(), 0.0);
+      world.send(1, 0, big);
+    } else {
+      auto big = world.recv<double>(0, 0);
+      ASSERT_EQ(big.size(), n);
+      EXPECT_DOUBLE_EQ(big[n - 1], static_cast<double>(n - 1));
+    }
+  });
+}
+
+}  // namespace

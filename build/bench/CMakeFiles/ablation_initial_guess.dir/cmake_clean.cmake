@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_initial_guess.dir/ablation_initial_guess.cpp.o"
+  "CMakeFiles/ablation_initial_guess.dir/ablation_initial_guess.cpp.o.d"
+  "ablation_initial_guess"
+  "ablation_initial_guess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_initial_guess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

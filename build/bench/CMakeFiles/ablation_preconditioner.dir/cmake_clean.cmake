@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_preconditioner.dir/ablation_preconditioner.cpp.o"
+  "CMakeFiles/ablation_preconditioner.dir/ablation_preconditioner.cpp.o.d"
+  "ablation_preconditioner"
+  "ablation_preconditioner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_preconditioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

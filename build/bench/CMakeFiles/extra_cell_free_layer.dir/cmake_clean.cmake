@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_cell_free_layer.dir/extra_cell_free_layer.cpp.o"
+  "CMakeFiles/extra_cell_free_layer.dir/extra_cell_free_layer.cpp.o.d"
+  "extra_cell_free_layer"
+  "extra_cell_free_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_cell_free_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for extra_cell_free_layer.
+# This may be replaced when dependencies are built.

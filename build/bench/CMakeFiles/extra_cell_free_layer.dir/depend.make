@@ -1,0 +1,2 @@
+# Empty dependencies file for extra_cell_free_layer.
+# This may be replaced when dependencies are built.

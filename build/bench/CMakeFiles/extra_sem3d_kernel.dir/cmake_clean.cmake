@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_sem3d_kernel.dir/extra_sem3d_kernel.cpp.o"
+  "CMakeFiles/extra_sem3d_kernel.dir/extra_sem3d_kernel.cpp.o.d"
+  "extra_sem3d_kernel"
+  "extra_sem3d_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_sem3d_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for extra_sem3d_kernel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_clot_growth.dir/fig10_clot_growth.cpp.o"
+  "CMakeFiles/fig10_clot_growth.dir/fig10_clot_growth.cpp.o.d"
+  "fig10_clot_growth"
+  "fig10_clot_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_clot_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_time_progression.dir/fig5_time_progression.cpp.o"
+  "CMakeFiles/fig5_time_progression.dir/fig5_time_progression.cpp.o.d"
+  "fig5_time_progression"
+  "fig5_time_progression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_time_progression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_wpod_averaging.dir/fig7_wpod_averaging.cpp.o"
+  "CMakeFiles/fig7_wpod_averaging.dir/fig7_wpod_averaging.cpp.o.d"
+  "fig7_wpod_averaging"
+  "fig7_wpod_averaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_wpod_averaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_eigenspectrum.dir/fig8_eigenspectrum.cpp.o"
+  "CMakeFiles/fig8_eigenspectrum.dir/fig8_eigenspectrum.cpp.o.d"
+  "fig8_eigenspectrum"
+  "fig8_eigenspectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_eigenspectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

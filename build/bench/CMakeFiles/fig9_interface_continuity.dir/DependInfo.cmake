@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig9_interface_continuity.cpp" "bench/CMakeFiles/fig9_interface_continuity.dir/fig9_interface_continuity.cpp.o" "gcc" "bench/CMakeFiles/fig9_interface_continuity.dir/fig9_interface_continuity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coupling/CMakeFiles/coupling.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmp/CMakeFiles/xmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpd/CMakeFiles/dpd.dir/DependInfo.cmake"
+  "/root/repo/build/src/nektar1d/CMakeFiles/nektar1d.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

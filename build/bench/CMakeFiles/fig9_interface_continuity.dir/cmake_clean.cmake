@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_interface_continuity.dir/fig9_interface_continuity.cpp.o"
+  "CMakeFiles/fig9_interface_continuity.dir/fig9_interface_continuity.cpp.o.d"
+  "fig9_interface_continuity"
+  "fig9_interface_continuity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_interface_continuity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_simd.dir/table1_simd.cpp.o"
+  "CMakeFiles/table1_simd.dir/table1_simd.cpp.o.d"
+  "table1_simd"
+  "table1_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_partitioning.dir/table2_partitioning.cpp.o"
+  "CMakeFiles/table2_partitioning.dir/table2_partitioning.cpp.o.d"
+  "table2_partitioning"
+  "table2_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table5_coupled_scaling.cpp" "bench/CMakeFiles/table5_coupled_scaling.dir/table5_coupled_scaling.cpp.o" "gcc" "bench/CMakeFiles/table5_coupled_scaling.dir/table5_coupled_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

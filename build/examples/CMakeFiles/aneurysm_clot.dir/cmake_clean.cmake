@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aneurysm_clot.dir/aneurysm_clot.cpp.o"
+  "CMakeFiles/aneurysm_clot.dir/aneurysm_clot.cpp.o.d"
+  "aneurysm_clot"
+  "aneurysm_clot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aneurysm_clot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for aneurysm_clot.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for aneurysm_clot.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arterial_tree.dir/arterial_tree.cpp.o"
+  "CMakeFiles/arterial_tree.dir/arterial_tree.cpp.o.d"
+  "arterial_tree"
+  "arterial_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arterial_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

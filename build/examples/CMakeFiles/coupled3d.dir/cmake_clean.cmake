@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupled3d.dir/coupled3d.cpp.o"
+  "CMakeFiles/coupled3d.dir/coupled3d.cpp.o.d"
+  "coupled3d"
+  "coupled3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupled3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiscale_viz.dir/multiscale_viz.cpp.o"
+  "CMakeFiles/multiscale_viz.dir/multiscale_viz.cpp.o.d"
+  "multiscale_viz"
+  "multiscale_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiscale_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wpod_analysis.dir/wpod_analysis.cpp.o"
+  "CMakeFiles/wpod_analysis.dir/wpod_analysis.cpp.o.d"
+  "wpod_analysis"
+  "wpod_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpod_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("la")
+subdirs("xmp")
+subdirs("machine")
+subdirs("mesh")
+subdirs("sem")
+subdirs("nektar1d")
+subdirs("dpd")
+subdirs("wpod")
+subdirs("coupling")
+subdirs("io")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coupling/cdc.cpp" "src/coupling/CMakeFiles/coupling.dir/cdc.cpp.o" "gcc" "src/coupling/CMakeFiles/coupling.dir/cdc.cpp.o.d"
+  "/root/repo/src/coupling/cdc3d.cpp" "src/coupling/CMakeFiles/coupling.dir/cdc3d.cpp.o" "gcc" "src/coupling/CMakeFiles/coupling.dir/cdc3d.cpp.o.d"
+  "/root/repo/src/coupling/mci.cpp" "src/coupling/CMakeFiles/coupling.dir/mci.cpp.o" "gcc" "src/coupling/CMakeFiles/coupling.dir/mci.cpp.o.d"
+  "/root/repo/src/coupling/multipatch.cpp" "src/coupling/CMakeFiles/coupling.dir/multipatch.cpp.o" "gcc" "src/coupling/CMakeFiles/coupling.dir/multipatch.cpp.o.d"
+  "/root/repo/src/coupling/net1d2d.cpp" "src/coupling/CMakeFiles/coupling.dir/net1d2d.cpp.o" "gcc" "src/coupling/CMakeFiles/coupling.dir/net1d2d.cpp.o.d"
+  "/root/repo/src/coupling/replica.cpp" "src/coupling/CMakeFiles/coupling.dir/replica.cpp.o" "gcc" "src/coupling/CMakeFiles/coupling.dir/replica.cpp.o.d"
+  "/root/repo/src/coupling/triple.cpp" "src/coupling/CMakeFiles/coupling.dir/triple.cpp.o" "gcc" "src/coupling/CMakeFiles/coupling.dir/triple.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xmp/CMakeFiles/xmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpd/CMakeFiles/dpd.dir/DependInfo.cmake"
+  "/root/repo/build/src/nektar1d/CMakeFiles/nektar1d.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/la.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupling.dir/cdc.cpp.o"
+  "CMakeFiles/coupling.dir/cdc.cpp.o.d"
+  "CMakeFiles/coupling.dir/cdc3d.cpp.o"
+  "CMakeFiles/coupling.dir/cdc3d.cpp.o.d"
+  "CMakeFiles/coupling.dir/mci.cpp.o"
+  "CMakeFiles/coupling.dir/mci.cpp.o.d"
+  "CMakeFiles/coupling.dir/multipatch.cpp.o"
+  "CMakeFiles/coupling.dir/multipatch.cpp.o.d"
+  "CMakeFiles/coupling.dir/net1d2d.cpp.o"
+  "CMakeFiles/coupling.dir/net1d2d.cpp.o.d"
+  "CMakeFiles/coupling.dir/replica.cpp.o"
+  "CMakeFiles/coupling.dir/replica.cpp.o.d"
+  "CMakeFiles/coupling.dir/triple.cpp.o"
+  "CMakeFiles/coupling.dir/triple.cpp.o.d"
+  "libcoupling.a"
+  "libcoupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

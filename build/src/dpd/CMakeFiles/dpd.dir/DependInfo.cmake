@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dpd/bonds.cpp" "src/dpd/CMakeFiles/dpd.dir/bonds.cpp.o" "gcc" "src/dpd/CMakeFiles/dpd.dir/bonds.cpp.o.d"
+  "/root/repo/src/dpd/buffers.cpp" "src/dpd/CMakeFiles/dpd.dir/buffers.cpp.o" "gcc" "src/dpd/CMakeFiles/dpd.dir/buffers.cpp.o.d"
+  "/root/repo/src/dpd/geometry.cpp" "src/dpd/CMakeFiles/dpd.dir/geometry.cpp.o" "gcc" "src/dpd/CMakeFiles/dpd.dir/geometry.cpp.o.d"
+  "/root/repo/src/dpd/inflow.cpp" "src/dpd/CMakeFiles/dpd.dir/inflow.cpp.o" "gcc" "src/dpd/CMakeFiles/dpd.dir/inflow.cpp.o.d"
+  "/root/repo/src/dpd/platelets.cpp" "src/dpd/CMakeFiles/dpd.dir/platelets.cpp.o" "gcc" "src/dpd/CMakeFiles/dpd.dir/platelets.cpp.o.d"
+  "/root/repo/src/dpd/sampling.cpp" "src/dpd/CMakeFiles/dpd.dir/sampling.cpp.o" "gcc" "src/dpd/CMakeFiles/dpd.dir/sampling.cpp.o.d"
+  "/root/repo/src/dpd/system.cpp" "src/dpd/CMakeFiles/dpd.dir/system.cpp.o" "gcc" "src/dpd/CMakeFiles/dpd.dir/system.cpp.o.d"
+  "/root/repo/src/dpd/viscometry.cpp" "src/dpd/CMakeFiles/dpd.dir/viscometry.cpp.o" "gcc" "src/dpd/CMakeFiles/dpd.dir/viscometry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpd.dir/bonds.cpp.o"
+  "CMakeFiles/dpd.dir/bonds.cpp.o.d"
+  "CMakeFiles/dpd.dir/buffers.cpp.o"
+  "CMakeFiles/dpd.dir/buffers.cpp.o.d"
+  "CMakeFiles/dpd.dir/geometry.cpp.o"
+  "CMakeFiles/dpd.dir/geometry.cpp.o.d"
+  "CMakeFiles/dpd.dir/inflow.cpp.o"
+  "CMakeFiles/dpd.dir/inflow.cpp.o.d"
+  "CMakeFiles/dpd.dir/platelets.cpp.o"
+  "CMakeFiles/dpd.dir/platelets.cpp.o.d"
+  "CMakeFiles/dpd.dir/sampling.cpp.o"
+  "CMakeFiles/dpd.dir/sampling.cpp.o.d"
+  "CMakeFiles/dpd.dir/system.cpp.o"
+  "CMakeFiles/dpd.dir/system.cpp.o.d"
+  "CMakeFiles/dpd.dir/viscometry.cpp.o"
+  "CMakeFiles/dpd.dir/viscometry.cpp.o.d"
+  "libdpd.a"
+  "libdpd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

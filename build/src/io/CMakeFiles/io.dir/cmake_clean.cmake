@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io.dir/vtk.cpp.o"
+  "CMakeFiles/io.dir/vtk.cpp.o.d"
+  "libio.a"
+  "libio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/cg.cpp" "src/la/CMakeFiles/la.dir/cg.cpp.o" "gcc" "src/la/CMakeFiles/la.dir/cg.cpp.o.d"
+  "/root/repo/src/la/csr.cpp" "src/la/CMakeFiles/la.dir/csr.cpp.o" "gcc" "src/la/CMakeFiles/la.dir/csr.cpp.o.d"
+  "/root/repo/src/la/dense.cpp" "src/la/CMakeFiles/la.dir/dense.cpp.o" "gcc" "src/la/CMakeFiles/la.dir/dense.cpp.o.d"
+  "/root/repo/src/la/eig.cpp" "src/la/CMakeFiles/la.dir/eig.cpp.o" "gcc" "src/la/CMakeFiles/la.dir/eig.cpp.o.d"
+  "/root/repo/src/la/simd.cpp" "src/la/CMakeFiles/la.dir/simd.cpp.o" "gcc" "src/la/CMakeFiles/la.dir/simd.cpp.o.d"
+  "/root/repo/src/la/stats.cpp" "src/la/CMakeFiles/la.dir/stats.cpp.o" "gcc" "src/la/CMakeFiles/la.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

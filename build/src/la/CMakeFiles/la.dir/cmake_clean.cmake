@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la.dir/cg.cpp.o"
+  "CMakeFiles/la.dir/cg.cpp.o.d"
+  "CMakeFiles/la.dir/csr.cpp.o"
+  "CMakeFiles/la.dir/csr.cpp.o.d"
+  "CMakeFiles/la.dir/dense.cpp.o"
+  "CMakeFiles/la.dir/dense.cpp.o.d"
+  "CMakeFiles/la.dir/eig.cpp.o"
+  "CMakeFiles/la.dir/eig.cpp.o.d"
+  "CMakeFiles/la.dir/simd.cpp.o"
+  "CMakeFiles/la.dir/simd.cpp.o.d"
+  "CMakeFiles/la.dir/stats.cpp.o"
+  "CMakeFiles/la.dir/stats.cpp.o.d"
+  "libla.a"
+  "libla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine.dir/cost.cpp.o"
+  "CMakeFiles/machine.dir/cost.cpp.o.d"
+  "CMakeFiles/machine.dir/torus.cpp.o"
+  "CMakeFiles/machine.dir/torus.cpp.o.d"
+  "libmachine.a"
+  "libmachine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

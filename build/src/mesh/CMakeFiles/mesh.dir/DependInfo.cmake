@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/graph.cpp" "src/mesh/CMakeFiles/mesh.dir/graph.cpp.o" "gcc" "src/mesh/CMakeFiles/mesh.dir/graph.cpp.o.d"
+  "/root/repo/src/mesh/partition.cpp" "src/mesh/CMakeFiles/mesh.dir/partition.cpp.o" "gcc" "src/mesh/CMakeFiles/mesh.dir/partition.cpp.o.d"
+  "/root/repo/src/mesh/quadmesh.cpp" "src/mesh/CMakeFiles/mesh.dir/quadmesh.cpp.o" "gcc" "src/mesh/CMakeFiles/mesh.dir/quadmesh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh.dir/graph.cpp.o"
+  "CMakeFiles/mesh.dir/graph.cpp.o.d"
+  "CMakeFiles/mesh.dir/partition.cpp.o"
+  "CMakeFiles/mesh.dir/partition.cpp.o.d"
+  "CMakeFiles/mesh.dir/quadmesh.cpp.o"
+  "CMakeFiles/mesh.dir/quadmesh.cpp.o.d"
+  "libmesh.a"
+  "libmesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nektar1d/artery.cpp" "src/nektar1d/CMakeFiles/nektar1d.dir/artery.cpp.o" "gcc" "src/nektar1d/CMakeFiles/nektar1d.dir/artery.cpp.o.d"
+  "/root/repo/src/nektar1d/network.cpp" "src/nektar1d/CMakeFiles/nektar1d.dir/network.cpp.o" "gcc" "src/nektar1d/CMakeFiles/nektar1d.dir/network.cpp.o.d"
+  "/root/repo/src/nektar1d/tree.cpp" "src/nektar1d/CMakeFiles/nektar1d.dir/tree.cpp.o" "gcc" "src/nektar1d/CMakeFiles/nektar1d.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/la.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

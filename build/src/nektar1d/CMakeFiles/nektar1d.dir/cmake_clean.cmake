@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nektar1d.dir/artery.cpp.o"
+  "CMakeFiles/nektar1d.dir/artery.cpp.o.d"
+  "CMakeFiles/nektar1d.dir/network.cpp.o"
+  "CMakeFiles/nektar1d.dir/network.cpp.o.d"
+  "CMakeFiles/nektar1d.dir/tree.cpp.o"
+  "CMakeFiles/nektar1d.dir/tree.cpp.o.d"
+  "libnektar1d.a"
+  "libnektar1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nektar1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

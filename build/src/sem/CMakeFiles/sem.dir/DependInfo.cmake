@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sem/discretization.cpp" "src/sem/CMakeFiles/sem.dir/discretization.cpp.o" "gcc" "src/sem/CMakeFiles/sem.dir/discretization.cpp.o.d"
+  "/root/repo/src/sem/gll.cpp" "src/sem/CMakeFiles/sem.dir/gll.cpp.o" "gcc" "src/sem/CMakeFiles/sem.dir/gll.cpp.o.d"
+  "/root/repo/src/sem/helmholtz.cpp" "src/sem/CMakeFiles/sem.dir/helmholtz.cpp.o" "gcc" "src/sem/CMakeFiles/sem.dir/helmholtz.cpp.o.d"
+  "/root/repo/src/sem/hex3d.cpp" "src/sem/CMakeFiles/sem.dir/hex3d.cpp.o" "gcc" "src/sem/CMakeFiles/sem.dir/hex3d.cpp.o.d"
+  "/root/repo/src/sem/ns2d.cpp" "src/sem/CMakeFiles/sem.dir/ns2d.cpp.o" "gcc" "src/sem/CMakeFiles/sem.dir/ns2d.cpp.o.d"
+  "/root/repo/src/sem/ns3d.cpp" "src/sem/CMakeFiles/sem.dir/ns3d.cpp.o" "gcc" "src/sem/CMakeFiles/sem.dir/ns3d.cpp.o.d"
+  "/root/repo/src/sem/operators.cpp" "src/sem/CMakeFiles/sem.dir/operators.cpp.o" "gcc" "src/sem/CMakeFiles/sem.dir/operators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/la.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

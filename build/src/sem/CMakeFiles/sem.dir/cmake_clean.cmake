@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sem.dir/discretization.cpp.o"
+  "CMakeFiles/sem.dir/discretization.cpp.o.d"
+  "CMakeFiles/sem.dir/gll.cpp.o"
+  "CMakeFiles/sem.dir/gll.cpp.o.d"
+  "CMakeFiles/sem.dir/helmholtz.cpp.o"
+  "CMakeFiles/sem.dir/helmholtz.cpp.o.d"
+  "CMakeFiles/sem.dir/hex3d.cpp.o"
+  "CMakeFiles/sem.dir/hex3d.cpp.o.d"
+  "CMakeFiles/sem.dir/ns2d.cpp.o"
+  "CMakeFiles/sem.dir/ns2d.cpp.o.d"
+  "CMakeFiles/sem.dir/ns3d.cpp.o"
+  "CMakeFiles/sem.dir/ns3d.cpp.o.d"
+  "CMakeFiles/sem.dir/operators.cpp.o"
+  "CMakeFiles/sem.dir/operators.cpp.o.d"
+  "libsem.a"
+  "libsem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wpod.dir/wpod.cpp.o"
+  "CMakeFiles/wpod.dir/wpod.cpp.o.d"
+  "libwpod.a"
+  "libwpod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmp.dir/comm.cpp.o"
+  "CMakeFiles/xmp.dir/comm.cpp.o.d"
+  "libxmp.a"
+  "libxmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

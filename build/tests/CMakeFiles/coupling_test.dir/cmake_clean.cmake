@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupling_test.dir/coupling_test.cpp.o"
+  "CMakeFiles/coupling_test.dir/coupling_test.cpp.o.d"
+  "coupling_test"
+  "coupling_test.pdb"
+  "coupling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

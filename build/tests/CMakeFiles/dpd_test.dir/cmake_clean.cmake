@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpd_test.dir/dpd_test.cpp.o"
+  "CMakeFiles/dpd_test.dir/dpd_test.cpp.o.d"
+  "dpd_test"
+  "dpd_test.pdb"
+  "dpd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_mci_test.dir/integration_mci_test.cpp.o"
+  "CMakeFiles/integration_mci_test.dir/integration_mci_test.cpp.o.d"
+  "integration_mci_test"
+  "integration_mci_test.pdb"
+  "integration_mci_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_mci_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

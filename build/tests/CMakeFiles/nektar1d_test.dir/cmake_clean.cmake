@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nektar1d_test.dir/nektar1d_test.cpp.o"
+  "CMakeFiles/nektar1d_test.dir/nektar1d_test.cpp.o.d"
+  "nektar1d_test"
+  "nektar1d_test.pdb"
+  "nektar1d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nektar1d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net1d2d_test.dir/net1d2d_test.cpp.o"
+  "CMakeFiles/net1d2d_test.dir/net1d2d_test.cpp.o.d"
+  "net1d2d_test"
+  "net1d2d_test.pdb"
+  "net1d2d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net1d2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

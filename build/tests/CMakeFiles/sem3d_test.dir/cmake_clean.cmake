@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sem3d_test.dir/sem3d_test.cpp.o"
+  "CMakeFiles/sem3d_test.dir/sem3d_test.cpp.o.d"
+  "sem3d_test"
+  "sem3d_test.pdb"
+  "sem3d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sem3d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

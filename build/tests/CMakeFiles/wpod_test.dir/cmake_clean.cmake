@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wpod_test.dir/wpod_test.cpp.o"
+  "CMakeFiles/wpod_test.dir/wpod_test.cpp.o.d"
+  "wpod_test"
+  "wpod_test.pdb"
+  "wpod_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpod_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

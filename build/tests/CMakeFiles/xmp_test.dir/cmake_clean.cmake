@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmp_test.dir/xmp_test.cpp.o"
+  "CMakeFiles/xmp_test.dir/xmp_test.cpp.o.d"
+  "xmp_test"
+  "xmp_test.pdb"
+  "xmp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/la_test[1]_include.cmake")
+include("/root/repo/build/tests/xmp_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/mesh_test[1]_include.cmake")
+include("/root/repo/build/tests/sem_test[1]_include.cmake")
+include("/root/repo/build/tests/nektar1d_test[1]_include.cmake")
+include("/root/repo/build/tests/dpd_test[1]_include.cmake")
+include("/root/repo/build/tests/wpod_test[1]_include.cmake")
+include("/root/repo/build/tests/coupling_test[1]_include.cmake")
+include("/root/repo/build/tests/net1d2d_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_mci_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/sem3d_test[1]_include.cmake")

@@ -15,6 +15,7 @@
 #include "dpd/geometry.hpp"
 #include "dpd/sampling.hpp"
 #include "dpd/system.hpp"
+#include "telemetry/bench_report.hpp"
 #include "xmp/comm.hpp"
 
 namespace {
@@ -64,6 +65,8 @@ int main() {
     for (std::size_t i = 0; i < p.size(); ++i) reference[i] += p[i] / kRefRuns;
   }
 
+  telemetry::BenchReport rep("ablation_replicas");
+  rep.meta("reference_runs", static_cast<double>(kRefRuns));
   std::printf("%-6s %-14s %-22s\n", "N_A", "rms error", "error * sqrt(N_A) (should be ~flat)");
   for (int n_replicas : {1, 2, 4, 8}) {
     // average the error over a few ensemble draws to tame the noise of the
@@ -83,9 +86,14 @@ int main() {
       err += rms_diff(avg, reference);
     }
     err /= kTrials;
-    std::printf("%-6d %-14.4f %-22.4f\n", n_replicas, err,
-                err * std::sqrt(static_cast<double>(n_replicas)));
+    const double scaled = err * std::sqrt(static_cast<double>(n_replicas));
+    std::printf("%-6d %-14.4f %-22.4f\n", n_replicas, err, scaled);
+    rep.row();
+    rep.set("replicas", static_cast<double>(n_replicas));
+    rep.set("rms_error", err);
+    rep.set("error_times_sqrt_na", scaled);
   }
+  rep.write();
   std::printf("\n(doubling the replicas costs 2x the resources for a sqrt(2) gain —\n"
               " the paper's argument for WPOD co-processing instead)\n");
   return 0;

@@ -11,6 +11,7 @@
 #include "dpd/geometry.hpp"
 #include "dpd/sampling.hpp"
 #include "dpd/system.hpp"
+#include "telemetry/bench_report.hpp"
 #include "wpod/wpod.hpp"
 
 namespace {
@@ -25,6 +26,8 @@ double l2(const la::Vector& a, const la::Vector& b) {
 
 int main() {
   std::printf("=== Ablation: WPOD window length Nts (fixed 1600-step budget) ===\n\n");
+  telemetry::BenchReport rep("ablation_wpod_window");
+  rep.meta("step_budget", 1600.0);
   std::printf("%-8s %-10s %-14s %-14s %-8s\n", "Nts", "windows", "std err", "WPOD err",
               "gain");
 
@@ -66,7 +69,14 @@ int main() {
     err_wpod /= static_cast<double>(snaps.size());
     std::printf("%-8d %-10d %-14.4f %-14.4f %-8.1f\n", nts, windows, err_std, err_wpod,
                 err_std / err_wpod);
+    rep.row();
+    rep.set("nts", static_cast<double>(nts));
+    rep.set("windows", static_cast<double>(windows));
+    rep.set("err_standard", err_std);
+    rep.set("err_wpod", err_wpod);
+    rep.set("gain", err_std / err_wpod);
   }
+  rep.write();
   std::printf("\n(the WPOD gain is largest for short windows — it pools statistics across\n"
               " the whole history, while the standard estimate only has Nts samples)\n");
   return 0;

@@ -12,6 +12,7 @@
 #include "dpd/bonds.hpp"
 #include "dpd/geometry.hpp"
 #include "dpd/system.hpp"
+#include "telemetry/bench_report.hpp"
 
 int main() {
   std::printf("=== Cell-free layer in a DPD RBC suspension ===\n\n");
@@ -60,6 +61,9 @@ int main() {
   for (int b = kBins / 2 - 2; b < kBins / 2 + 2; ++b) core += rbc[static_cast<std::size_t>(b)];
   core /= 4.0;
 
+  telemetry::BenchReport rep("extra_cell_free_layer");
+  rep.meta("rbc_rings", static_cast<double>(n_cells));
+  rep.meta("channel_height", H);
   std::printf("\n%-10s %-14s %-12s\n", "z", "RBC fraction", "profile");
   for (int b = 0; b < kBins; ++b) {
     const double frac = all[static_cast<std::size_t>(b)] > 0
@@ -69,6 +73,9 @@ int main() {
     const int bars = static_cast<int>(frac * 120);
     for (int q = 0; q < bars && q < 40; ++q) std::printf("#");
     std::printf("\n");
+    rep.row();
+    rep.set("z", (b + 0.5) * H / kBins);
+    rep.set("rbc_fraction", frac);
   }
 
   // CFL thickness: distance from the wall to the first bin with >= 50% of
@@ -86,5 +93,8 @@ int main() {
               cfl_bot, cfl_top, H);
   std::printf("(expected: CFL > 0 on both walls — cells migrate to the core, as in the\n"
               " microvessel experiments/simulations the paper builds on)\n");
+  rep.meta("cfl_bottom", cfl_bot);
+  rep.meta("cfl_top", cfl_top);
+  rep.write();
   return (cfl_bot > 0.0 && cfl_top > 0.0) ? 0 : 1;
 }

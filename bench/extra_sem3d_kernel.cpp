@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "sem/hex3d.hpp"
+#include "telemetry/bench_report.hpp"
 
 namespace {
 
@@ -39,22 +40,32 @@ double time_apply(int P, double* gflops) {
 
 int main() {
   std::printf("=== 3D stiffness kernel: sum-factorisation scaling ===\n\n");
+  telemetry::BenchReport rep("extra_sem3d_kernel");
   std::printf("%-6s %-18s %-14s %-20s\n", "P", "time/elem (us)", "GF/s", "scaling vs (P+1)^4");
   double t_ref = 0.0;
   int P_ref = 0;
   for (int P : {3, 5, 7, 9, 11}) {
     double gf = 0.0;
     const double t = time_apply(P, &gf) * 1e6;
+    double measured_x = 1.0, expect_x = 1.0;
     if (P_ref == 0) {
       t_ref = t;
       P_ref = P;
       std::printf("%-6d %-18.2f %-14.2f %-20s\n", P, t, gf, "reference");
     } else {
-      const double expect = std::pow((P + 1.0) / (P_ref + 1.0), 4);
+      measured_x = t / t_ref;
+      expect_x = std::pow((P + 1.0) / (P_ref + 1.0), 4);
       std::printf("%-6d %-18.2f %-14.2f measured %5.1fx / O(P^4) predicts %5.1fx\n", P, t,
-                  gf, t / t_ref, expect);
+                  gf, measured_x, expect_x);
     }
+    rep.row();
+    rep.set("order", static_cast<double>(P));
+    rep.set("us_per_element", t);
+    rep.set("gflops", gf);
+    rep.set("measured_scaling", measured_x);
+    rep.set("predicted_scaling", expect_x);
   }
+  rep.write();
   std::printf("\n(cost per element tracks the O((P+1)^4) sum-factorised bound; a naive\n"
               " dense elemental operator would scale as (P+1)^6)\n");
   return 0;

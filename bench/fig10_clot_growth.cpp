@@ -16,10 +16,11 @@
 #include "dpd/system.hpp"
 #include "mesh/quadmesh.hpp"
 #include "sem/ns2d.hpp"
+#include "telemetry/bench_report.hpp"
 
 namespace {
 
-void run_clot(double activation_delay) {
+void run_clot(double activation_delay, telemetry::BenchReport& rep) {
   // continuum: channel with an aneurysm-like cavity (Re ~ a few hundred,
   // scaled down; flow over the cavity mouth leaves the sac slow - the clot
   // nucleation condition)
@@ -80,11 +81,19 @@ void run_clot(double activation_delay) {
   for (int block = 0; block < 8; ++block) {
     for (int interval = 0; interval < 4; ++interval)
       cdc.advance_interval([&] { platelets->update(sys); });
-    std::printf("  %-10.1f %-9zu %-10zu %-8zu %-7zu\n", sys.time(),
-                platelets->count(dpd::PlateletState::Passive),
-                platelets->count(dpd::PlateletState::Triggered),
-                platelets->count(dpd::PlateletState::Active),
-                platelets->count(dpd::PlateletState::Bound));
+    const std::size_t passive = platelets->count(dpd::PlateletState::Passive);
+    const std::size_t triggered = platelets->count(dpd::PlateletState::Triggered);
+    const std::size_t active = platelets->count(dpd::PlateletState::Active);
+    const std::size_t bound = platelets->count(dpd::PlateletState::Bound);
+    std::printf("  %-10.1f %-9zu %-10zu %-8zu %-7zu\n", sys.time(), passive, triggered, active,
+                bound);
+    rep.row();
+    rep.set("activation_delay", activation_delay);
+    rep.set("dpd_time", sys.time());
+    rep.set("passive", static_cast<double>(passive));
+    rep.set("triggered", static_cast<double>(triggered));
+    rep.set("active", static_cast<double>(active));
+    rep.set("bound", static_cast<double>(bound));
   }
   std::printf("\n");
 }
@@ -95,7 +104,10 @@ int main() {
   std::printf("=== Fig. 10: platelet aggregation on the aneurysm wall ===\n");
   std::printf("(expected: bound count grows as platelets entering the sac activate and\n");
   std::printf(" arrest, then saturates; longer activation delay slows the growth)\n\n");
-  run_clot(1.0);
-  run_clot(6.0);
+  telemetry::BenchReport rep("fig10_clot_growth");
+  rep.meta("platelets", 60.0);
+  run_clot(1.0, rep);
+  run_clot(6.0, rep);
+  rep.write();
   return 0;
 }

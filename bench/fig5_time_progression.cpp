@@ -14,6 +14,7 @@
 #include "dpd/system.hpp"
 #include "mesh/quadmesh.hpp"
 #include "sem/ns2d.hpp"
+#include "telemetry/bench_report.hpp"
 
 int main() {
   std::printf("=== Fig. 5: time progression in the coupled solver ===\n");
@@ -51,18 +52,33 @@ int main() {
 
   std::printf("schedule: tau = %d NS steps = %d DPD steps; tau_NS = %.4f (NS time units)\n\n",
               tp.exchange_every_ns, tp.dpd_steps_per_exchange(), tp.tau_ns());
+  telemetry::BenchReport rep("fig5_time_progression");
+  rep.meta("exchange_every_ns", static_cast<double>(tp.exchange_every_ns));
+  rep.meta("dpd_per_ns", static_cast<double>(tp.dpd_per_ns));
+  rep.meta("tau_ns", tp.tau_ns());
   std::printf("%-10s %-14s %-14s %-12s\n", "interval", "NS steps done", "DPD steps done",
               "exchanges");
   for (int interval = 1; interval <= 3; ++interval) {
     cdc.advance_interval();
-    std::printf("%-10d %-14.0f %-14llu %-12zu\n", interval, ns.time() / nsp.dt,
-                static_cast<unsigned long long>(sys.step_count()), cdc.exchanges());
+    const double ns_steps = ns.time() / nsp.dt;
+    const auto dpd_steps = static_cast<double>(sys.step_count());
+    std::printf("%-10d %-14.0f %-14.0f %-12zu\n", interval, ns_steps, dpd_steps,
+                cdc.exchanges());
+    rep.row();
+    rep.set("interval", static_cast<double>(interval));
+    rep.set("ns_steps", ns_steps);
+    rep.set("dpd_steps", dpd_steps);
+    rep.set("exchanges", static_cast<double>(cdc.exchanges()));
   }
   const bool ok = sys.step_count() == 3ull * tp.dpd_steps_per_exchange() &&
                   cdc.exchanges() == 3;
+  const double realised_ratio =
+      static_cast<double>(sys.step_count()) / (ns.time() / nsp.dt);
   std::printf("\nrealised ratio: %llu DPD steps / %.0f NS steps = %.1f (target %d)  [%s]\n",
               static_cast<unsigned long long>(sys.step_count()), ns.time() / nsp.dt,
-              static_cast<double>(sys.step_count()) / (ns.time() / nsp.dt),
-              tp.dpd_per_ns, ok ? "OK" : "MISMATCH");
+              realised_ratio, tp.dpd_per_ns, ok ? "OK" : "MISMATCH");
+  rep.meta("realised_ratio", realised_ratio);
+  rep.meta("ok", std::string(ok ? "true" : "false"));
+  rep.write();
   return ok ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 
 #include "la/simd.hpp"
 #include "la/vector.hpp"
+#include "telemetry/bench_report.hpp"
 
 namespace {
 
@@ -112,14 +113,36 @@ void print_table1() {
   const double t_xyy_v = time_of([&] { sink = la::simd::dot_xyy(x.data(), y.data(), kN); });
   (void)sink;
 
+  const char* isa = la::simd::detect() == la::simd::Isa::Avx2 ? "AVX2+FMA" : "scalar fallback";
+  const double su_vmul = t_vmul_s / t_vmul_v;
+  const double su_xyz = t_xyz_s / t_xyz_v;
+  const double su_xyy = t_xyy_s / t_xyy_v;
+
   std::printf("\n=== Table 1: SIMD performance tuning speed-up factor ===\n");
   std::printf("(paper: Cray XT5 2.00/2.53/4.00, BG/P 3.40/1.60/2.25; here: host AVX2 vs scalar)\n");
   std::printf("%-28s %12s\n", "function  i=[0,N-1]", "speed-up");
-  std::printf("%-28s %12.2f\n", "z[i] = x[i]*y[i]", t_vmul_s / t_vmul_v);
-  std::printf("%-28s %12.2f\n", "a = sum x[i]*y[i]*z[i]", t_xyz_s / t_xyz_v);
-  std::printf("%-28s %12.2f\n", "a = sum x[i]*y[i]*y[i]", t_xyy_s / t_xyy_v);
-  std::printf("ISA dispatched: %s\n\n",
-              la::simd::detect() == la::simd::Isa::Avx2 ? "AVX2+FMA" : "scalar fallback");
+  std::printf("%-28s %12.2f\n", "z[i] = x[i]*y[i]", su_vmul);
+  std::printf("%-28s %12.2f\n", "a = sum x[i]*y[i]*z[i]", su_xyz);
+  std::printf("%-28s %12.2f\n", "a = sum x[i]*y[i]*y[i]", su_xyy);
+  std::printf("ISA dispatched: %s\n\n", isa);
+
+  telemetry::BenchReport rep("table1_simd");
+  rep.meta("isa", std::string(isa));
+  rep.meta("n", static_cast<double>(kN));
+  const struct {
+    const char* kernel;
+    double scalar_s, simd_s, speedup;
+  } rows[] = {{"vmul", t_vmul_s, t_vmul_v, su_vmul},
+              {"dot_xyz", t_xyz_s, t_xyz_v, su_xyz},
+              {"dot_xyy", t_xyy_s, t_xyy_v, su_xyy}};
+  for (const auto& r : rows) {
+    rep.row();
+    rep.set("kernel", std::string(r.kernel));
+    rep.set("scalar_s", r.scalar_s);
+    rep.set("simd_s", r.simd_s);
+    rep.set("speedup", r.speedup);
+  }
+  rep.write();
 }
 
 }  // namespace

@@ -8,10 +8,11 @@
 #include <cstdio>
 
 #include "scaling_model.hpp"
+#include "telemetry/bench_report.hpp"
 
 namespace {
 
-void run(const scaling::MachineConfig& mc) {
+void run(const scaling::MachineConfig& mc, telemetry::BenchReport& rep) {
   scaling::SemPatchConfig pc;
   const int cores_per_patch = 2048;
   std::printf("%s (%d cores/node):\n", mc.name, mc.cores_per_node);
@@ -23,12 +24,20 @@ void run(const scaling::MachineConfig& mc) {
     const double t1000 = 1000.0 * t.per_step;
     if (np == 3) t_ref = t1000;
     const double dof = np * pc.elements * std::pow(pc.P + 1.0, 2) * 3.0 / 1e9 * 4.0;
+    const double eff_pct = 100.0 * t_ref / t1000;
     if (np == 3)
       std::printf("  %-4d %.3fB %10d %14.2f   reference\n", np, dof, np * cores_per_patch,
                   t1000);
     else
       std::printf("  %-4d %.3fB %10d %14.2f   %.0f%%\n", np, dof, np * cores_per_patch, t1000,
-                  100.0 * t_ref / t1000);
+                  eff_pct);
+    rep.row();
+    rep.set("machine", std::string(mc.name));
+    rep.set("patches", static_cast<double>(np));
+    rep.set("dof_billions", dof);
+    rep.set("cores", static_cast<double>(np * cores_per_patch));
+    rep.set("s_per_1000_steps", t1000);
+    rep.set("weak_efficiency_pct", eff_pct);
   }
   std::printf("\n");
 }
@@ -39,8 +48,10 @@ int main() {
   std::printf("=== Table 3: weak scaling, multi-patch flow simulation ===\n");
   std::printf("(paper: BG/P 650.67/685.23/703.4 s -> 100/95/92%%;\n");
   std::printf("        XT5  462.3/477.2/505.1 s -> 100/96.9/91.5%%)\n\n");
-  run(scaling::bgp());
-  run(scaling::xt5());
+  telemetry::BenchReport rep("table3_weak_scaling");
+  rep.meta("cores_per_patch", 2048.0);
+  run(scaling::bgp(), rep);
+  run(scaling::xt5(), rep);
 
   // the 122,880-core run quoted in the text (P = 6, 3072 cores/patch)
   scaling::SemPatchConfig pc6;
@@ -48,8 +59,10 @@ int main() {
   pc6.flops_per_element_per_iter = 1.1e5;
   const auto t16 = scaling::sem_step_time(scaling::bgp(), pc6, 16, 3072);
   const auto t40 = scaling::sem_step_time(scaling::bgp(), pc6, 40, 3072);
+  const double large_eff_pct = 100.0 * t16.per_step / t40.per_step;
   std::printf("Large-run check (P=6, 3072 cores/patch): 16 patches (49,152 cores) -> 40\n");
-  std::printf("patches (122,880 cores): weak efficiency %.1f%% (paper: 92.3%%)\n",
-              100.0 * t16.per_step / t40.per_step);
+  std::printf("patches (122,880 cores): weak efficiency %.1f%% (paper: 92.3%%)\n", large_eff_pct);
+  rep.meta("large_run_weak_efficiency_pct", large_eff_pct);
+  rep.write();
   return 0;
 }

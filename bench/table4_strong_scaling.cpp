@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "scaling_model.hpp"
+#include "telemetry/bench_report.hpp"
 
 int main() {
   std::printf("=== Table 4: strong scaling (BG/P, 4 cores/node) ===\n");
@@ -16,21 +17,33 @@ int main() {
 
   const auto mc = scaling::bgp();
   scaling::SemPatchConfig pc;
+  telemetry::BenchReport rep("table4_strong_scaling");
+  rep.meta("machine", std::string(mc.name));
+  rep.meta("cores_per_node", static_cast<double>(mc.cores_per_node));
   for (int np : {3, 8, 16}) {
     const double dof = np * pc.elements * (pc.P + 1.0) * (pc.P + 1.0) * 3.0 * 4.0 / 1e9;
     double t_ref = 0.0;
     for (int cpp : {1024, 2048}) {
       const auto t = scaling::sem_step_time(mc, pc, np, cpp);
       const double t1000 = 1000.0 * t.per_step;
+      double eff_pct = 100.0;
       if (cpp == 1024) {
         t_ref = t1000;
         std::printf("%-4d %.3fB %10d %14.2f   reference\n", np, dof, np * cpp, t1000);
       } else {
-        std::printf("%-4d %.3fB %10d %14.2f   %.1f%%\n", np, dof, np * cpp, t1000,
-                    100.0 * t_ref / (2.0 * t1000));
+        eff_pct = 100.0 * t_ref / (2.0 * t1000);
+        std::printf("%-4d %.3fB %10d %14.2f   %.1f%%\n", np, dof, np * cpp, t1000, eff_pct);
       }
+      rep.row();
+      rep.set("patches", static_cast<double>(np));
+      rep.set("dof_billions", dof);
+      rep.set("cores", static_cast<double>(np * cpp));
+      rep.set("cores_per_patch", static_cast<double>(cpp));
+      rep.set("s_per_1000_steps", t1000);
+      rep.set("strong_efficiency_pct", eff_pct);
     }
     std::printf("\n");
   }
+  rep.write();
   return 0;
 }

@@ -9,10 +9,12 @@
 #include <cstdio>
 
 #include "scaling_model.hpp"
+#include "telemetry/bench_report.hpp"
 
 namespace {
 
-void run(const scaling::MachineConfig& mc, const std::vector<int>& cores_list) {
+void run(const scaling::MachineConfig& mc, const std::vector<int>& cores_list,
+         telemetry::BenchReport& rep) {
   scaling::DpdConfig dc;
   std::printf("%s (%d cores/node), N_DPD = %.0f particles:\n", mc.name, mc.cores_per_node,
               dc.particles);
@@ -21,12 +23,18 @@ void run(const scaling::MachineConfig& mc, const std::vector<int>& cores_list) {
   int prev_c = 0;
   for (int cores : cores_list) {
     const double t = 4000.0 * scaling::dpd_step_time(mc, dc, cores);
+    double eff_pct = 0.0;
     if (prev_c == 0) {
       std::printf("  %-10d %-16.2f --\n", cores, t);
     } else {
-      const double eff = (prev_t / t) / (static_cast<double>(cores) / prev_c);
-      std::printf("  %-10d %-16.2f %.0f%%\n", cores, t, 100.0 * eff);
+      eff_pct = 100.0 * (prev_t / t) / (static_cast<double>(cores) / prev_c);
+      std::printf("  %-10d %-16.2f %.0f%%\n", cores, t, eff_pct);
     }
+    rep.row();
+    rep.set("machine", std::string(mc.name));
+    rep.set("cores", static_cast<double>(cores));
+    rep.set("s_per_4000_steps", t);
+    rep.set("efficiency_vs_prev_pct", eff_pct);
     prev_t = t;
     prev_c = cores;
   }
@@ -39,8 +47,11 @@ int main() {
   std::printf("=== Table 5: coupled continuum-DPD strong scaling ===\n");
   std::printf("(paper BG/P: 3205.58 / 1399.12 (107%%) / 665.79 (102%%);\n");
   std::printf(" paper XT5:  2193.66 / 762.99 (144%%))\n\n");
-  run(scaling::bgp(), {28672, 61440, 126976});
-  run(scaling::xt5(), {17280, 34560, 93312});
+  telemetry::BenchReport rep("table5_coupled_scaling");
+  rep.meta("dpd_steps", 4000.0);
+  run(scaling::bgp(), {28672, 61440, 126976}, rep);
+  run(scaling::xt5(), {17280, 34560, 93312}, rep);
+  rep.write();
   std::printf("The super-linearity is the cache effect: per-core particle state crosses\n");
   std::printf("the cache-capacity boundary as cores double (see machine::compute_time).\n");
   return 0;

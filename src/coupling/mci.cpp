@@ -4,6 +4,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "telemetry/registry.hpp"
+
 namespace coupling {
 
 namespace {
@@ -50,6 +52,7 @@ InterfaceChannel::InterfaceChannel(xmp::Comm world, xmp::Comm l4, int peer_root_
 }
 
 void InterfaceChannel::send(const std::vector<double>& my_values) const {
+  telemetry::ScopedPhase phase("mci.exchange.send");
   if (my_values.size() != my_samples_.size())
     throw std::invalid_argument("InterfaceChannel::send: value count mismatch");
   // step 1: gather contributions on the L4 root
@@ -63,17 +66,20 @@ void InterfaceChannel::send(const std::vector<double>& my_values) const {
       off += idxs.size();
     }
     // step 2: root-to-root over World
+    telemetry::count("mci.exchange.bytes_sent", static_cast<double>(full.size() * sizeof(double)));
     world_.send(peer_root_world_, tag_, full);
   }
 }
 
 std::vector<double> InterfaceChannel::recv() const {
+  telemetry::ScopedPhase phase("mci.exchange.recv");
   std::vector<std::vector<double>> parts;
   if (l4_.rank() == 0) {
     // step 2: root-to-root over World
     auto full = world_.recv<double>(peer_root_world_, tag_);
     if (full.size() != total_)
       throw std::runtime_error("InterfaceChannel::recv: payload size mismatch");
+    telemetry::count("mci.exchange.bytes_recv", static_cast<double>(full.size() * sizeof(double)));
     parts.resize(all_samples_.size());
     for (std::size_t r = 0; r < all_samples_.size(); ++r) {
       parts[r].reserve(all_samples_[r].size());
@@ -87,6 +93,7 @@ std::vector<double> InterfaceChannel::recv() const {
 DiscoveryResult discover_interface_owners(
     const Mci& mci, int atomistic_task, const std::vector<double>& samples,
     const std::function<bool(double, double, double)>& owns) {
+  telemetry::ScopedPhase phase("mci.discovery");
   DiscoveryResult out;
   const bool am_l3_root = mci.l3.valid() && mci.l3.rank() == 0;
   const bool am_atomistic = mci.task == atomistic_task;

@@ -1,7 +1,10 @@
 #include "coupling/multipatch.hpp"
 
 #include <cmath>
+#include <optional>
 #include <stdexcept>
+
+#include "telemetry/registry.hpp"
 
 namespace coupling {
 
@@ -91,7 +94,11 @@ double MultiPatchChannel::eval_patch_v(int k, double x, double y) const {
 }
 
 void MultiPatchChannel::step() {
+  telemetry::ScopedPhase phase("multipatch.step");
+  telemetry::count("multipatch.steps");
   // exchange interface conditions once per step (paper Sec. 3.2)
+  std::optional<telemetry::ScopedPhase> sub;
+  sub.emplace("multipatch.bc_exchange");
   for (int k = 0; k < num_patches(); ++k) {
     auto& disc = *discs_[static_cast<std::size_t>(k)];
     auto& ns = *solvers_[static_cast<std::size_t>(k)];
@@ -117,6 +124,7 @@ void MultiPatchChannel::step() {
       ns.set_velocity_bc_values(kIfaceEast, std::move(uu), std::move(vv));
     }
   }
+  sub.emplace("multipatch.solve");
   for (auto& s : solvers_) s->step();
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/registry.hpp"
+
 namespace dpd {
 
 DpdSystem::DpdSystem(const DpdParams& prm, std::shared_ptr<Geometry> geom)
@@ -103,6 +105,7 @@ Vec3 DpdSystem::min_image(const Vec3& a, const Vec3& b) const {
 }
 
 void DpdSystem::build_cells() {
+  telemetry::ScopedPhase phase("dpd.cells");
   ncx_ = std::max(1, static_cast<int>(prm_.box.x / prm_.rc));
   ncy_ = std::max(1, static_cast<int>(prm_.box.y / prm_.rc));
   ncz_ = std::max(1, static_cast<int>(prm_.box.z / prm_.rc));
@@ -213,6 +216,7 @@ void DpdSystem::pair_forces() {
 }
 
 void DpdSystem::compute_forces() {
+  telemetry::ScopedPhase phase("dpd.forces");
   const std::size_t n = pos_.size();
   for (std::size_t i = 0; i < n; ++i) frc_[i] = {};
   pair_forces();
@@ -249,33 +253,40 @@ void DpdSystem::reflect_walls(std::size_t i) {
 }
 
 void DpdSystem::step() {
+  telemetry::ScopedPhase phase("dpd.step");
   const std::size_t n = pos_.size();
   const double dt = prm_.dt;
   if (step_ == 0) compute_forces();
 
   // Groot-Warren modified velocity-Verlet
   std::vector<Vec3> v_pred(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (frozen_[i]) {
-      v_pred[i] = {};
-      continue;
+  {
+    telemetry::ScopedPhase integrate("dpd.integrate");
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen_[i]) {
+        v_pred[i] = {};
+        continue;
+      }
+      pos_[i] += vel_[i] * dt + frc_[i] * (0.5 * dt * dt);
+      v_pred[i] = vel_[i] + frc_[i] * (prm_.lambda * dt);
+      wrap(pos_[i]);
+      reflect_walls(i);
     }
-    pos_[i] += vel_[i] * dt + frc_[i] * (0.5 * dt * dt);
-    v_pred[i] = vel_[i] + frc_[i] * (prm_.lambda * dt);
-    wrap(pos_[i]);
-    reflect_walls(i);
   }
   frc_old_ = frc_;
   // force evaluation at predicted velocities
   std::swap(vel_, v_pred);
   compute_forces();
   std::swap(vel_, v_pred);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (frozen_[i]) {
-      vel_[i] = {};
-      continue;
+  {
+    telemetry::ScopedPhase integrate("dpd.integrate");
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen_[i]) {
+        vel_[i] = {};
+        continue;
+      }
+      vel_[i] += (frc_old_[i] + frc_[i]) * (0.5 * dt);
     }
-    vel_[i] += (frc_old_[i] + frc_[i]) * (0.5 * dt);
   }
   ++step_;
 }

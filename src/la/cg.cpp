@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "la/simd.hpp"
+#include "telemetry/registry.hpp"
 
 namespace la {
 
@@ -21,6 +22,9 @@ Preconditioner jacobi_preconditioner(const Vector& diag) {
 
 CgResult cg_solve(const LinearOperator& A, const Vector& b, Vector& x,
                   const Preconditioner& M, const CgOptions& opt) {
+  telemetry::ScopedPhase phase("cg.solve");
+  telemetry::count("cg.solves");
+  telemetry::sample_reset("cg.residual");
   const std::size_t n = b.size();
   if (x.size() != n) x.resize(n);
 
@@ -38,6 +42,7 @@ CgResult cg_solve(const LinearOperator& A, const Vector& b, Vector& x,
 
   CgResult res;
   double rnorm = std::sqrt(simd::dot(r.data(), r.data(), n));
+  telemetry::sample("cg.residual", rnorm);
   if (rnorm <= stop) {
     res.converged = true;
     res.residual_norm = rnorm;
@@ -54,6 +59,8 @@ CgResult cg_solve(const LinearOperator& A, const Vector& b, Vector& x,
 
     rnorm = std::sqrt(simd::dot(r.data(), r.data(), n));
     res.iterations = it;
+    telemetry::count("cg.iterations");
+    telemetry::sample("cg.residual", rnorm);
     if (rnorm <= stop) {
       res.converged = true;
       break;

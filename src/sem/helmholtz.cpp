@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/registry.hpp"
+
 namespace sem {
 
 HelmholtzSolver::HelmholtzSolver(const Operators& ops, double lambda, double nu,
@@ -119,6 +121,8 @@ la::CgResult HelmholtzSolver::solve(const la::Vector& f,
 
 la::CgResult HelmholtzSolver::solve_with_values(const la::Vector& f, const la::Vector& bc_values,
                                                 la::Vector& u) {
+  telemetry::ScopedPhase phase("helmholtz.solve");
+  telemetry::count("helmholtz.solves");
   const auto& d = ops_->disc();
   const std::size_t n = d.num_nodes();
   const auto& M = ops_->mass_diag();

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
+
+#include "telemetry/registry.hpp"
 
 namespace sem {
 
@@ -112,6 +115,11 @@ void NavierStokes2D::fill_bc_values(double t, la::Vector& ubc, la::Vector& vbc) 
 
 std::size_t NavierStokes2D::step() {
   if (!pressure_solver_) build_solvers();
+  telemetry::ScopedPhase phase("ns2d.step");
+  // sub-phases cover the three split-scheme stages; emplace() ends the
+  // previous one before starting the next
+  std::optional<telemetry::ScopedPhase> sub;
+  sub.emplace("ns2d.advect");
   const std::size_t n = d_->num_nodes();
   const double dt = params_.dt;
   const double tn1 = t_ + dt;
@@ -178,6 +186,7 @@ std::size_t NavierStokes2D::step() {
     }
   }
 
+  sub.emplace("ns2d.pressure");
   la::Vector div(n);
   ops_.divergence(us, vs, div);
   la::Vector f(n);
@@ -198,6 +207,7 @@ std::size_t NavierStokes2D::step() {
   }
 
   // 4) implicit viscosity: (gamma0 M/dt + nu K) u = gamma0 M us / dt
+  sub.emplace("ns2d.viscous");
   la::Vector fu(n), fv(n);
   for (std::size_t g = 0; g < n; ++g) {
     fu[g] = gamma0 * us[g] / dt;

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
+
+#include "telemetry/registry.hpp"
 
 namespace sem {
 
@@ -89,6 +92,9 @@ void NavierStokes3D::fill_bc_values(double t, la::Vector& ubc, la::Vector& vbc,
 
 std::size_t NavierStokes3D::step() {
   if (!pressure_solver_) build_solvers();
+  telemetry::ScopedPhase phase("ns3d.step");
+  std::optional<telemetry::ScopedPhase> sub;
+  sub.emplace("ns3d.advect");
   const std::size_t n = d_->num_nodes();
   const double dt = params_.dt;
   const double tn1 = t_ + dt;
@@ -146,6 +152,7 @@ std::size_t NavierStokes3D::step() {
     ws[dnodes_[k]] = wbc[k];
   }
 
+  sub.emplace("ns3d.pressure");
   la::Vector div(n);
   ops_.divergence(us, vs, ws, div);
   la::Vector f(n);
@@ -165,6 +172,7 @@ std::size_t NavierStokes3D::step() {
     ws[g] -= dt / gamma0 * pz[g];
   }
 
+  sub.emplace("ns3d.viscous");
   la::Vector fu(n), fv(n), fw(n);
   for (std::size_t g = 0; g < n; ++g) {
     fu[g] = gamma0 * us[g] / dt;

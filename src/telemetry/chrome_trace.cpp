@@ -1,0 +1,50 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include <fstream>
+
+#include "telemetry/json.hpp"
+#include "telemetry/registry.hpp"
+
+namespace telemetry {
+
+std::string chrome_trace_json() {
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  int anon_tid = 1000;
+  for (const auto& reg : Registry::all()) {
+    const int bound = reg->world_rank();
+    const int tid = bound >= 0 ? bound : anon_tid++;
+    for (const auto& ev : reg->timeline()) {
+      w.begin_object();
+      w.key("name");
+      w.value(ev.name);
+      w.key("ph");
+      w.value("X");
+      w.key("ts");
+      w.value(ev.t0_us);
+      w.key("dur");
+      w.value(ev.dur_us);
+      w.key("pid");
+      w.value(0);
+      w.key("tid");
+      w.value(tid);
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.end_object();
+  return w.str();
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << chrome_trace_json() << "\n";
+  return bool(out);
+}
+
+}  // namespace telemetry

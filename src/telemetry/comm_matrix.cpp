@@ -1,0 +1,105 @@
+#include "telemetry/comm_matrix.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "telemetry/json.hpp"
+
+namespace telemetry {
+
+void TagClasses::add_range(int lo, int hi, std::string name) {
+  rules_.push_back(Rule{lo, hi, std::move(name)});
+}
+
+std::string TagClasses::classify(const xmp::TraceEvent& e) const {
+  if (e.kind != xmp::TraceKind::P2P) return xmp::to_string(e.kind);
+  for (auto it = rules_.rbegin(); it != rules_.rend(); ++it)
+    if (e.tag >= it->lo && e.tag <= it->hi) return it->name;
+  return "tag:" + std::to_string(e.tag);
+}
+
+void CommMatrix::record(const xmp::TraceEvent& e) {
+  auto cls = classes_.classify(e);
+  std::lock_guard lk(mu_);
+  auto& cell = cells_[CommKey{e.src_world, e.dst_world, std::move(cls)}];
+  cell.messages += 1;
+  cell.bytes += e.bytes;
+}
+
+xmp::TraceSink CommMatrix::sink() {
+  return [this](const xmp::TraceEvent& e) { record(e); };
+}
+
+void CommMatrix::reset() {
+  std::lock_guard lk(mu_);
+  cells_.clear();
+}
+
+std::map<CommKey, CommCell> CommMatrix::cells() const {
+  std::lock_guard lk(mu_);
+  return cells_;
+}
+
+std::uint64_t CommMatrix::total_messages() const {
+  std::lock_guard lk(mu_);
+  std::uint64_t n = 0;
+  for (const auto& [k, c] : cells_) n += c.messages;
+  return n;
+}
+
+std::uint64_t CommMatrix::total_bytes() const {
+  std::lock_guard lk(mu_);
+  std::uint64_t n = 0;
+  for (const auto& [k, c] : cells_) n += c.bytes;
+  return n;
+}
+
+std::string CommMatrix::format() const {
+  auto snap = cells();
+  std::ostringstream os;
+  os << "src -> dst  class               msgs       bytes\n";
+  char line[160];
+  for (const auto& [key, cell] : snap) {
+    const auto& [src, dst, cls] = key;
+    std::snprintf(line, sizeof line, "%3d -> %-3d  %-16s %7llu %11llu\n", src, dst, cls.c_str(),
+                  static_cast<unsigned long long>(cell.messages),
+                  static_cast<unsigned long long>(cell.bytes));
+    os << line;
+  }
+  return os.str();
+}
+
+std::string CommMatrix::to_json() const {
+  auto snap = cells();
+  JsonWriter w;
+  w.begin_object();
+  w.key("cells");
+  w.begin_array();
+  std::uint64_t msgs = 0, bytes = 0;
+  for (const auto& [key, cell] : snap) {
+    const auto& [src, dst, cls] = key;
+    msgs += cell.messages;
+    bytes += cell.bytes;
+    w.begin_object();
+    w.key("src");
+    w.value(src);
+    w.key("dst");
+    w.value(dst);
+    w.key("class");
+    w.value(cls);
+    w.key("messages");
+    w.value(cell.messages);
+    w.key("bytes");
+    w.value(cell.bytes);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("total_messages");
+  w.value(msgs);
+  w.key("total_bytes");
+  w.value(bytes);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace telemetry

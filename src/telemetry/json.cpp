@@ -1,0 +1,47 @@
+#include "telemetry/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace telemetry {
+
+void JsonWriter::value(double v) {
+  prefix();
+  if (!std::isfinite(v)) {
+    // JSON has no Inf/NaN; report as null like most tooling expects.
+    out_ << "null";
+    return;
+  }
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) && std::fabs(v) < 1e15) {
+    out_ << static_cast<std::int64_t>(v);
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.*g", std::numeric_limits<double>::max_digits10, v);
+  out_ << buf;
+}
+
+void JsonWriter::string_literal(const std::string& s) {
+  out_ << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out_ << "\\\""; break;
+      case '\\': out_ << "\\\\"; break;
+      case '\n': out_ << "\\n"; break;
+      case '\t': out_ << "\\t"; break;
+      case '\r': out_ << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ << buf;
+        } else {
+          out_ << c;
+        }
+    }
+  }
+  out_ << '"';
+}
+
+}  // namespace telemetry

@@ -1,0 +1,169 @@
+#include "telemetry/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace telemetry {
+
+namespace {
+
+void flatten(const PhaseNode& n, const std::string& prefix, int depth, std::ostream& os) {
+  for (const auto& c : n.children) {
+    const std::string path = prefix.empty() ? c.name : prefix + "/" + c.name;
+    os << "P\t" << depth << "\t" << path << "\t" << c.count << "\t" << c.seconds << "\n";
+    flatten(c, path, depth + 1, os);
+  }
+}
+
+std::string serialize(const Registry& reg) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  flatten(reg.phases(), "", 0, os);
+  for (const auto& [name, cv] : reg.counters())
+    os << "C\t" << name << "\t" << cv.value << "\t" << cv.count << "\n";
+  return os.str();
+}
+
+struct PhaseAcc {
+  int depth = 0;
+  int ranks = 0;
+  std::uint64_t count = 0;
+  double min_s = std::numeric_limits<double>::infinity();
+  double sum_s = 0.0;
+  double max_s = -1.0;
+  int max_rank = -1;
+};
+
+struct CounterAcc {
+  int ranks = 0;
+  double total = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+};
+
+Report merge(const std::vector<std::string>& blobs) {
+  std::map<std::string, PhaseAcc> phases;
+  std::vector<std::string> order;  // first-seen pre-order across ranks
+  std::map<std::string, CounterAcc> counters;
+
+  for (std::size_t r = 0; r < blobs.size(); ++r) {
+    std::istringstream is(blobs[r]);
+    std::string line;
+    while (std::getline(is, line)) {
+      std::istringstream ls(line);
+      std::string kind, a, b, c, d;
+      std::getline(ls, kind, '\t');
+      if (kind == "P") {
+        std::getline(ls, a, '\t');  // depth
+        std::getline(ls, b, '\t');  // path
+        std::getline(ls, c, '\t');  // count
+        std::getline(ls, d, '\t');  // seconds
+        auto it = phases.find(b);
+        if (it == phases.end()) {
+          it = phases.emplace(b, PhaseAcc{}).first;
+          it->second.depth = std::stoi(a);
+          order.push_back(b);
+        }
+        auto& acc = it->second;
+        const double s = std::stod(d);
+        acc.ranks += 1;
+        acc.count += std::stoull(c);
+        acc.min_s = std::min(acc.min_s, s);
+        acc.sum_s += s;
+        if (s > acc.max_s) {
+          acc.max_s = s;
+          acc.max_rank = static_cast<int>(r);
+        }
+      } else if (kind == "C") {
+        std::getline(ls, a, '\t');  // name
+        std::getline(ls, b, '\t');  // value
+        std::getline(ls, c, '\t');  // count (unused in the merge)
+        auto& acc = counters[a];
+        const double v = std::stod(b);
+        acc.ranks += 1;
+        acc.total += v;
+        acc.min = std::min(acc.min, v);
+        acc.max = std::max(acc.max, v);
+      }
+    }
+  }
+
+  Report out;
+  out.phases.reserve(order.size());
+  for (const auto& path : order) {
+    const auto& acc = phases.at(path);
+    PhaseStats s;
+    s.path = path;
+    s.depth = acc.depth;
+    s.ranks = acc.ranks;
+    s.count = acc.count;
+    s.min_s = acc.min_s;
+    s.avg_s = acc.sum_s / acc.ranks;
+    s.max_s = acc.max_s;
+    s.max_rank = acc.max_rank;
+    out.phases.push_back(std::move(s));
+  }
+  for (const auto& [name, acc] : counters) {
+    CounterStats s;
+    s.name = name;
+    s.ranks = acc.ranks;
+    s.total = acc.total;
+    s.min = acc.min;
+    s.avg = acc.total / acc.ranks;
+    s.max = acc.max;
+    out.counters.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+Report aggregate(const xmp::Comm& comm, int root) {
+  const std::string mine = serialize(Registry::local());
+  std::vector<std::size_t> counts;
+  auto all = comm.gatherv(std::span<const char>(mine.data(), mine.size()), root, &counts);
+  if (comm.rank() != root) return {};
+  std::vector<std::string> blobs;
+  blobs.reserve(counts.size());
+  std::size_t off = 0;
+  for (std::size_t k : counts) {
+    blobs.emplace_back(all.data() + off, k);
+    off += k;
+  }
+  return merge(blobs);
+}
+
+Report aggregate(const std::vector<std::shared_ptr<Registry>>& regs) {
+  std::vector<std::string> blobs;
+  blobs.reserve(regs.size());
+  for (const auto& r : regs) blobs.push_back(serialize(*r));
+  return merge(blobs);
+}
+
+std::string format(const Report& r) {
+  std::ostringstream os;
+  os << "phase                                      count  ranks     min s     avg s     max s  max@\n";
+  char line[200];
+  for (const auto& p : r.phases) {
+    std::string name(static_cast<std::size_t>(2 * p.depth), ' ');
+    auto slash = p.path.rfind('/');
+    name += slash == std::string::npos ? p.path : p.path.substr(slash + 1);
+    std::snprintf(line, sizeof line, "%-40s %7llu %6d %9.4f %9.4f %9.4f  %4d\n", name.c_str(),
+                  static_cast<unsigned long long>(p.count), p.ranks, p.min_s, p.avg_s, p.max_s,
+                  p.max_rank);
+    os << line;
+  }
+  if (!r.counters.empty()) {
+    os << "counter                                    ranks       total         min         avg         max\n";
+    for (const auto& c : r.counters) {
+      std::snprintf(line, sizeof line, "%-40s %7d %11.4g %11.4g %11.4g %11.4g\n", c.name.c_str(),
+                    c.ranks, c.total, c.min, c.avg, c.max);
+      os << line;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace telemetry

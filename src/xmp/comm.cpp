@@ -24,6 +24,10 @@ struct Mailbox {
 /// and a registry used to wake all blocked ranks on abort.
 struct RunState {
   std::atomic<bool> aborted{false};
+  /// Fast-path flag mirroring `trace != nullptr`: senders skip the trace
+  /// mutex entirely when no sink is installed.
+  std::atomic<bool> has_trace{false};
+  int world_size = 0;
   std::mutex trace_mu;
   TraceSink trace;
 
@@ -100,15 +104,18 @@ struct Group : std::enable_shared_from_this<Group> {
     return out;
   }
 
+  void emit_trace(int src, int dst, std::size_t bytes, int tag, TraceKind kind) {
+    if (!rs->has_trace.load(std::memory_order_acquire)) return;
+    std::lock_guard tl(rs->trace_mu);
+    if (rs->trace)
+      rs->trace(TraceEvent{world_ranks[static_cast<std::size_t>(src)],
+                           world_ranks[static_cast<std::size_t>(dst)], bytes, tag, kind});
+  }
+
   void send(int src, int dst, int tag, const void* data, std::size_t bytes) {
     check_abort();
     if (dst < 0 || dst >= size()) throw std::out_of_range("xmp: send dst");
-    {
-      std::lock_guard tl(rs->trace_mu);
-      if (rs->trace)
-        rs->trace(TraceEvent{world_ranks[static_cast<std::size_t>(src)],
-                             world_ranks[static_cast<std::size_t>(dst)], bytes, tag});
-    }
+    emit_trace(src, dst, bytes, tag, TraceKind::P2P);
     Mailbox& box = *boxes[static_cast<std::size_t>(dst)];
     Message m{src, tag, {}};
     m.data.resize(bytes);
@@ -187,10 +194,51 @@ void Comm::barrier() const {
                      [](const auto&) { return std::make_shared<int>(0); });
 }
 
+const char* to_string(TraceKind k) {
+  switch (k) {
+    case TraceKind::P2P: return "p2p";
+    case TraceKind::Gather: return "gather";
+    case TraceKind::Scatter: return "scatter";
+    case TraceKind::Bcast: return "bcast";
+    case TraceKind::Allgather: return "allgather";
+    case TraceKind::Reduce: return "reduce";
+  }
+  return "?";
+}
+
+void Comm::trace_transfer(int src, int dst, std::size_t bytes, TraceKind kind) const {
+  if (!group_) throw std::logic_error("xmp: invalid comm");
+  group_->emit_trace(src, dst, bytes, kCollectiveTag, kind);
+}
+
 void Comm::set_trace(TraceSink sink) const {
   if (!group_) throw std::logic_error("xmp: invalid comm");
-  std::lock_guard lk(group_->rs->trace_mu);
-  group_->rs->trace = std::move(sink);
+  auto* rs = group_->rs.get();
+  // Enforce the quiescence requirement: installation must happen while every
+  // rank of the run is blocked here, which only a world-spanning collective
+  // can guarantee. A subgroup collective would leave outside ranks free to
+  // send concurrently.
+  if (group_->size() != rs->world_size)
+    throw std::logic_error(
+        "xmp: set_trace is collective over the WORLD communicator (or pass the "
+        "sink to xmp::run to install it before ranks start)");
+  group_->collective(rank_, &sink, sizeof sink, [rs](const auto& ins) {
+    TraceSink* chosen = nullptr;
+    for (const auto& [ptr, bytes] : ins) {
+      (void)bytes;
+      auto* s = static_cast<TraceSink*>(const_cast<void*>(ptr));
+      if (*s) {
+        chosen = s;
+        break;
+      }
+    }
+    // Every rank is parked inside this collective, so swapping the sink here
+    // cannot race any emit_trace.
+    std::lock_guard lk(rs->trace_mu);
+    rs->trace = chosen ? std::move(*chosen) : nullptr;
+    rs->has_trace.store(chosen != nullptr, std::memory_order_release);
+    return std::make_shared<int>(0);
+  });
 }
 
 Comm Comm::split(int color, int key) const {
@@ -267,7 +315,19 @@ std::shared_ptr<const std::vector<std::vector<std::uint8_t>>> Comm::collect_byte
   return collect_bytes(group_, rank_, ptr, bytes);
 }
 
+namespace {
+/// Logical trace pattern of an allreduce: fan-in to rank 0, result fan-out.
+void trace_allreduce(const Comm& c, std::size_t bytes) {
+  if (c.rank() != 0) {
+    c.trace_transfer(c.rank(), 0, bytes, TraceKind::Reduce);
+  } else {
+    for (int r = 1; r < c.size(); ++r) c.trace_transfer(0, r, bytes, TraceKind::Bcast);
+  }
+}
+}  // namespace
+
 double Comm::allreduce(double v, Op op) const {
+  trace_allreduce(*this, sizeof v);
   auto blobs = collect_bytes(group_, rank_, &v, sizeof v);
   double acc = 0.0;
   bool first = true;
@@ -289,6 +349,7 @@ double Comm::allreduce(double v, Op op) const {
 }
 
 std::int64_t Comm::allreduce(std::int64_t v, Op op) const {
+  trace_allreduce(*this, sizeof v);
   auto blobs = collect_bytes(group_, rank_, &v, sizeof v);
   std::int64_t acc = 0;
   bool first = true;
@@ -310,6 +371,7 @@ std::int64_t Comm::allreduce(std::int64_t v, Op op) const {
 }
 
 std::vector<double> Comm::allreduce(std::span<const double> v, Op op) const {
+  trace_allreduce(*this, v.size() * sizeof(double));
   auto blobs = collect_bytes(group_, rank_, v.data(), v.size() * sizeof(double));
   std::vector<double> acc(v.size());
   bool first = true;
@@ -333,9 +395,15 @@ std::vector<double> Comm::allreduce(std::span<const double> v, Op op) const {
   return acc;
 }
 
-void run(int nranks, const std::function<void(Comm&)>& fn) {
+void run(int nranks, const std::function<void(Comm&)>& fn, TraceSink trace) {
   if (nranks <= 0) throw std::invalid_argument("xmp: nranks must be positive");
   auto rs = std::make_shared<detail::RunState>();
+  rs->world_size = nranks;
+  if (trace) {
+    // Installed before any rank thread exists: trivially race-free.
+    rs->trace = std::move(trace);
+    rs->has_trace.store(true, std::memory_order_release);
+  }
   std::vector<int> wr(static_cast<std::size_t>(nranks));
   for (int i = 0; i < nranks; ++i) wr[static_cast<std::size_t>(i)] = i;
   auto world = detail::make_group(rs, std::move(wr));

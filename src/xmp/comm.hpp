@@ -44,12 +44,27 @@ struct AbortedError : std::runtime_error {
   AbortedError() : std::runtime_error("xmp: run aborted by failure in another rank") {}
 };
 
-/// One observed point-to-point message (world-rank endpoints).
+/// What kind of transfer a TraceEvent describes. P2P events are real
+/// mailbox messages; the collective kinds are *logical* transfers: the
+/// in-process runtime executes collectives through a shared-memory slot, and
+/// the trace hook reports the message pattern an MPI implementation of the
+/// same collective would generate (gather fan-in, scatter/bcast fan-out,
+/// reduce fan-in + result fan-out). barrier() and the raw collect_bytes_all
+/// primitive carry no payload attribution and are not traced.
+enum class TraceKind : std::uint8_t { P2P, Gather, Scatter, Bcast, Allgather, Reduce };
+
+const char* to_string(TraceKind k);
+
+/// Tag reported on logical collective transfers (collectives are untagged).
+inline constexpr int kCollectiveTag = -2;
+
+/// One observed transfer (world-rank endpoints).
 struct TraceEvent {
   int src_world;
   int dst_world;
   std::size_t bytes;
   int tag;
+  TraceKind kind = TraceKind::P2P;
 };
 using TraceSink = std::function<void(const TraceEvent&)>;
 
@@ -130,11 +145,22 @@ public:
   /// Element-wise allreduce of equal-length vectors.
   std::vector<double> allreduce(std::span<const double> v, Op op) const;
 
-  /// Install a sink observing every p2p message in the whole run (world
-  /// scope). Pass nullptr to clear. Not thread-safe against concurrent
-  /// traffic: set it while ranks are quiescent (e.g., right after run()
-  /// entry, guarded by a barrier).
+  /// Install a sink observing every traced transfer in the whole run (world
+  /// scope). COLLECTIVE over the world communicator: every rank must call it,
+  /// and the first non-empty sink (by rank order) is installed — all ranks
+  /// passing nullptr clears the sink. Installation happens while every rank
+  /// is blocked inside this call, so it can neither race nor miss concurrent
+  /// traffic; calling it on a communicator that does not span the whole run
+  /// throws std::logic_error. To observe a run from the very first message,
+  /// pass the sink to xmp::run() instead, which installs it before any rank
+  /// thread starts. The sink itself is invoked under a mutex and may be
+  /// called from any rank thread.
   void set_trace(TraceSink sink) const;
+
+  /// Internal: report one logical transfer (local ranks of this comm) to the
+  /// run's trace sink. Used by the collectives; near-zero cost when no sink
+  /// is installed. Not intended as user API.
+  void trace_transfer(int src, int dst, std::size_t bytes, TraceKind kind) const;
 
   /// Implementation primitive for the templated collectives: every rank
   /// contributes a byte blob and receives the full per-rank set. Public so
@@ -143,7 +169,7 @@ public:
       const void* ptr, std::size_t bytes) const;
 
 private:
-  friend void run(int, const std::function<void(Comm&)>&);
+  friend void run(int, const std::function<void(Comm&)>&, TraceSink);
   friend struct detail::Group;
   Comm(std::shared_ptr<detail::Group> g, int rank) : group_(std::move(g)), rank_(rank) {}
 
@@ -157,6 +183,9 @@ template <class T>
 void Comm::bcast(std::vector<T>& data, int root) const {
   static_assert(std::is_trivially_copyable_v<T>);
   const bool am_root = rank() == root;
+  if (am_root)
+    for (int r = 0; r < size(); ++r)
+      if (r != root) trace_transfer(root, r, data.size() * sizeof(T), TraceKind::Bcast);
   auto blobs = collect_bytes_all(am_root ? data.data() : nullptr,
                                  am_root ? data.size() * sizeof(T) : 0);
   const auto& src = (*blobs)[static_cast<std::size_t>(root)];
@@ -171,6 +200,7 @@ template <class T>
 std::vector<T> Comm::gatherv(std::span<const T> mine, int root,
                              std::vector<std::size_t>* counts) const {
   static_assert(std::is_trivially_copyable_v<T>);
+  if (rank() != root) trace_transfer(rank(), root, mine.size() * sizeof(T), TraceKind::Gather);
   auto blobs = collect_bytes_all(mine.data(), mine.size() * sizeof(T));
   std::vector<T> out;
   if (rank() != root) {
@@ -192,6 +222,8 @@ template <class T>
 std::vector<T> Comm::allgatherv(std::span<const T> mine,
                                 std::vector<std::size_t>* counts) const {
   static_assert(std::is_trivially_copyable_v<T>);
+  for (int r = 0; r < size(); ++r)
+    if (r != rank()) trace_transfer(rank(), r, mine.size() * sizeof(T), TraceKind::Allgather);
   auto blobs = collect_bytes_all(mine.data(), mine.size() * sizeof(T));
   std::vector<T> out;
   if (counts) counts->clear();
@@ -214,6 +246,10 @@ std::vector<T> Comm::scatterv(const std::vector<std::vector<T>>& parts, int root
   if (rank() == root) {
     if (parts.size() != static_cast<std::size_t>(size()))
       throw std::invalid_argument("xmp: scatterv parts size != comm size");
+    for (int r = 0; r < size(); ++r)
+      if (r != root)
+        trace_transfer(root, r, parts[static_cast<std::size_t>(r)].size() * sizeof(T),
+                       TraceKind::Scatter);
     std::size_t total = 0;
     for (const auto& p : parts) total += p.size();
     packed.resize(sizeof(std::size_t) * (1 + parts.size()) + total * sizeof(T));
@@ -249,6 +285,9 @@ std::vector<T> Comm::scatterv(const std::vector<std::vector<T>>& parts, int root
 
 /// Launch `nranks` threads, each running fn with its world communicator.
 /// Rethrows the first rank failure after all threads have stopped.
-void run(int nranks, const std::function<void(Comm&)>& fn);
+/// A non-null `trace` sink is installed before any rank thread starts (the
+/// race-free way to observe a run's traffic from its first message) and
+/// stays installed for the whole run unless replaced via Comm::set_trace.
+void run(int nranks, const std::function<void(Comm&)>& fn, TraceSink trace = nullptr);
 
 }  // namespace xmp

@@ -140,21 +140,18 @@ TEST(Mci, InterfaceChannelMessageCountIsRootToRoot) {
     std::vector<std::size_t> my_samples = {static_cast<std::size_t>(l4.rank()),
                                            static_cast<std::size_t>(l4.rank() + 3)};
     coupling::InterfaceChannel ch(world, l4, peer_root, 6, my_samples, 42);
-    world.barrier();
-    if (world.rank() == 0)
-      world.set_trace([&](const xmp::TraceEvent& e) {
-        if (e.tag == 42) {
-          std::lock_guard lk(mu);
-          events.push_back(e);
-        }
-      });
-    world.barrier();
+    // Collective install: all ranks call set_trace; the sink goes live while
+    // every rank is parked inside the call, so no prior traffic can leak in.
+    world.set_trace([&](const xmp::TraceEvent& e) {
+      if (e.tag == 42) {
+        std::lock_guard lk(mu);
+        events.push_back(e);
+      }
+    });
     std::vector<double> vals(2, 1.0);
     ch.send(vals);
     ch.recv();
-    world.barrier();
-    if (world.rank() == 0) world.set_trace(nullptr);
-    world.barrier();
+    world.set_trace(nullptr);
   });
   ASSERT_EQ(events.size(), 2u);
   for (const auto& e : events) {

@@ -195,21 +195,18 @@ TEST(MciIntegration, TracedExchangeReplaysOnModeledMachine) {
     std::vector<std::size_t> mine = {static_cast<std::size_t>(l4.rank()),
                                      static_cast<std::size_t>(l4.rank() + 3)};
     coupling::InterfaceChannel ch(world, l4, peer_root, 6, mine, 42);
-    world.barrier();
-    if (world.rank() == 0)
-      world.set_trace([&](const xmp::TraceEvent& e) {
-        if (e.tag == 42) {
-          std::lock_guard lk(mu);
-          events.push_back(e);
-        }
-      });
-    world.barrier();
+    // Collective install (all ranks call set_trace); the tag filter keeps
+    // only the interface payload, not the logical collective traffic.
+    world.set_trace([&](const xmp::TraceEvent& e) {
+      if (e.tag == 42) {
+        std::lock_guard lk(mu);
+        events.push_back(e);
+      }
+    });
     std::vector<double> vals(2, 1.5);
     ch.send(vals);
     ch.recv();
-    world.barrier();
-    if (world.rank() == 0) world.set_trace(nullptr);
-    world.barrier();
+    world.set_trace(nullptr);
   });
 
   ASSERT_EQ(events.size(), 2u);  // root-to-root, one per direction

@@ -228,26 +228,57 @@ TEST(Xmp, SubCommP2pIsolatedFromWorldTags) {
 }
 
 TEST(Xmp, TraceObservesMessages) {
+  // set_trace is collective over world: every rank calls it, and the
+  // installation happens while all ranks are parked inside the call.
   std::mutex mu;
   std::vector<xmp::TraceEvent> events;
   xmp::run(3, [&](xmp::Comm& world) {
-    if (world.rank() == 0)
-      world.set_trace([&](const xmp::TraceEvent& e) {
-        std::lock_guard lk(mu);
-        events.push_back(e);
-      });
-    world.barrier();
+    world.set_trace([&](const xmp::TraceEvent& e) {
+      std::lock_guard lk(mu);
+      events.push_back(e);
+    });
     if (world.rank() == 1) world.send(2, 9, std::vector<double>(8, 1.0));
     if (world.rank() == 2) world.recv<double>(1, 9);
     world.barrier();
-    if (world.rank() == 0) world.set_trace(nullptr);
-    world.barrier();
+    world.set_trace(nullptr);
   });
   ASSERT_EQ(events.size(), 1u);
   EXPECT_EQ(events[0].src_world, 1);
   EXPECT_EQ(events[0].dst_world, 2);
   EXPECT_EQ(events[0].bytes, 64u);
   EXPECT_EQ(events[0].tag, 9);
+  EXPECT_EQ(events[0].kind, xmp::TraceKind::P2P);
+}
+
+TEST(Xmp, TraceSinkViaRunSeesCollectivePattern) {
+  // The run()-parameter install path observes traffic from the very first
+  // message, including the logical fan-in a gatherv models.
+  std::mutex mu;
+  std::vector<xmp::TraceEvent> events;
+  xmp::run(
+      3,
+      [](xmp::Comm& world) {
+        std::vector<int> mine = {world.rank()};
+        world.gatherv<int>(mine, 0);
+      },
+      [&](const xmp::TraceEvent& e) {
+        std::lock_guard lk(mu);
+        events.push_back(e);
+      });
+  // gatherv models one message per non-root rank into the root
+  std::size_t fan_in = 0;
+  for (const auto& e : events)
+    if (e.kind == xmp::TraceKind::Gather && e.dst_world == 0) ++fan_in;
+  EXPECT_EQ(fan_in, 2u);
+  for (const auto& e : events) EXPECT_EQ(e.tag, xmp::kCollectiveTag);
+}
+
+TEST(Xmp, SetTraceOnSubCommThrows) {
+  xmp::run(4, [](xmp::Comm& world) {
+    xmp::Comm sub = world.split(world.rank() % 2, world.rank());
+    EXPECT_THROW(sub.set_trace(nullptr), std::logic_error);
+    world.barrier();
+  });
 }
 
 TEST(Xmp, AbortPropagatesFailure) {

@@ -5,17 +5,53 @@
 // gap, plus the wall-normal profile agreement.
 //
 // Run: ./build/examples/coupled3d
+//
+// Checkpoint/restart (see docs/RESILIENCE.md):
+//   --intervals N            coupling intervals to run (default 25)
+//   --checkpoint-every K     save a checkpoint every K intervals
+//   --checkpoint-dir DIR     where checkpoints go (default ./coupled3d-ckpt)
+//   --restart DIR            resume from a checkpoint directory
+//   --digest                 print a CRC32 digest of the final state
+//                            (bitwise restart-equivalence checks)
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "coupling/cdc3d.hpp"
 #include "dpd/geometry.hpp"
 #include "dpd/inflow.hpp"
 #include "dpd/sampling.hpp"
 #include "dpd/system.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/snapshot.hpp"
 #include "sem/ns3d.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  int intervals = 25;
+  int checkpoint_every = 0;
+  std::string checkpoint_dir = "coupled3d-ckpt";
+  std::string restart_dir;
+  bool digest = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--intervals") && i + 1 < argc)
+      intervals = std::atoi(argv[++i]);
+    else if (!std::strcmp(argv[i], "--checkpoint-every") && i + 1 < argc)
+      checkpoint_every = std::atoi(argv[++i]);
+    else if (!std::strcmp(argv[i], "--checkpoint-dir") && i + 1 < argc)
+      checkpoint_dir = argv[++i];
+    else if (!std::strcmp(argv[i], "--restart") && i + 1 < argc)
+      restart_dir = argv[++i];
+    else if (!std::strcmp(argv[i], "--digest"))
+      digest = true;
+    else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  const bool restarting = !restart_dir.empty();
+
   std::printf("Fully 3D coupled simulation: SEM hexahedra + DPD box\n\n");
 
   const double H = 1.0, Umax = 1.0, nu = 0.05;
@@ -34,16 +70,20 @@ int main() {
   ns.set_velocity_bc(sem::HexFace::Y0, prof, zero, zero);
   ns.set_velocity_bc(sem::HexFace::Y1, prof, zero, zero);
   ns.set_natural_bc(sem::HexFace::X1);
-  std::printf("continuum: %zu hexahedral SEM nodes, developing...\n", d.num_nodes());
-  for (int s = 0; s < 300; ++s) ns.step();
+  if (!restarting) {
+    std::printf("continuum: %zu hexahedral SEM nodes, developing...\n", d.num_nodes());
+    for (int s = 0; s < 300; ++s) ns.step();
+  }
 
   dpd::DpdParams dp;
   dp.box = {16.0, 6.0, 10.0};
   dp.periodic = {false, true, false};
   dp.dt = 0.01;
   dpd::DpdSystem sys(dp, std::make_shared<dpd::ChannelZ>(10.0));
-  sys.fill(3.0, dpd::kSolvent, 7, 0.1);
-  std::printf("atomistic: %zu DPD particles\n\n", sys.size());
+  if (!restarting) {
+    sys.fill(3.0, dpd::kSolvent, 7, 0.1);
+    std::printf("atomistic: %zu DPD particles\n\n", sys.size());
+  }
   dpd::FlowBcParams fp;
   fp.axis = 0;
   fp.relax = 0.3;
@@ -66,10 +106,50 @@ int main() {
   sp.ny = 1;
   sp.nz = 10;
   dpd::FieldSampler sampler(sys, sp);
-  for (int interval = 0; interval < 25; ++interval)
+
+  resilience::CheckpointCoordinator coord;
+  coord.add("ns3d", ns);
+  coord.add("dpd", sys);
+  coord.add("flowbc", bc);
+  coord.add("cdc3d", cdc);
+  coord.add("sampler", sampler);
+
+  int start_interval = 0;
+  if (restarting) {
+    try {
+      const auto info = coord.load(restart_dir);
+      start_interval = static_cast<int>(info.step);
+    } catch (const resilience::SnapshotError& e) {
+      std::fprintf(stderr, "restart failed: %s\n", e.what());
+      return 1;
+    }
+    std::printf("restarted from %s: interval %d, t_ns = %.4f, %zu DPD particles\n\n",
+                restart_dir.c_str(), start_interval, ns.time(), sys.size());
+  }
+
+  for (int interval = start_interval; interval < intervals; ++interval) {
     cdc.advance_interval([&] {
       if (interval >= 15) sampler.accumulate(sys);
     });
+    if (checkpoint_every > 0 && (interval + 1) % checkpoint_every == 0 &&
+        interval + 1 < intervals) {
+      const std::string dir = checkpoint_dir + "/step-" + std::to_string(interval + 1);
+      const std::size_t bytes =
+          coord.save(dir, static_cast<std::uint64_t>(interval + 1), ns.time());
+      std::printf("checkpoint: %s (%zu bytes)\n", dir.c_str(), bytes);
+    }
+  }
+
+  if (digest) {
+    resilience::BlobWriter w;
+    ns.save_state(w);
+    sys.save_state(w);
+    bc.save_state(w);
+    cdc.save_state(w);
+    sampler.save_state(w);
+    std::printf("STATE_DIGEST %08x\n", resilience::crc32(w.data()));
+    return 0;
+  }
 
   auto profile = sampler.snapshot();
   std::printf("%-8s %-14s %-16s\n", "z (NS)", "u continuum", "u DPD (scaled back)");

@@ -7,8 +7,19 @@
 // velocity profiles side by side so you can see the coupling at work.
 //
 // Build & run:  cmake --build build && ./build/examples/quickstart
+//
+// Checkpoint/restart (see docs/RESILIENCE.md):
+//   --intervals N            coupling intervals to run (default 20)
+//   --checkpoint-every K     save a checkpoint every K intervals
+//   --checkpoint-dir DIR     where checkpoints go (default ./quickstart-ckpt)
+//   --restart DIR            resume from a checkpoint directory
+//   --digest                 print a CRC32 digest of the final state
+//                            (bitwise restart-equivalence checks)
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "coupling/cdc.hpp"
 #include "dpd/geometry.hpp"
@@ -16,9 +27,34 @@
 #include "dpd/sampling.hpp"
 #include "dpd/system.hpp"
 #include "mesh/quadmesh.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/snapshot.hpp"
 #include "sem/ns2d.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  int intervals = 20;
+  int checkpoint_every = 0;
+  std::string checkpoint_dir = "quickstart-ckpt";
+  std::string restart_dir;
+  bool digest = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--intervals") && i + 1 < argc)
+      intervals = std::atoi(argv[++i]);
+    else if (!std::strcmp(argv[i], "--checkpoint-every") && i + 1 < argc)
+      checkpoint_every = std::atoi(argv[++i]);
+    else if (!std::strcmp(argv[i], "--checkpoint-dir") && i + 1 < argc)
+      checkpoint_dir = argv[++i];
+    else if (!std::strcmp(argv[i], "--restart") && i + 1 < argc)
+      restart_dir = argv[++i];
+    else if (!std::strcmp(argv[i], "--digest"))
+      digest = true;
+    else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  const bool restarting = !restart_dir.empty();
+
   std::printf("NektarG quickstart: continuum channel + embedded DPD box\n\n");
 
   // --- 1. the continuum solver (macrovascular scale) ---
@@ -32,8 +68,10 @@ int main() {
                      [](double, double y, double) { return 4.0 * y * (1.0 - y); },
                      [](double, double, double) { return 0.0; });
   ns.set_natural_bc(mesh::kOutlet);
-  std::printf("continuum: %zu SEM nodes, developing the flow...\n", disc.num_nodes());
-  for (int s = 0; s < 300; ++s) ns.step();
+  if (!restarting) {
+    std::printf("continuum: %zu SEM nodes, developing the flow...\n", disc.num_nodes());
+    for (int s = 0; s < 300; ++s) ns.step();
+  }
 
   // --- 2. the atomistic solver (mesovascular scale) ---
   dpd::DpdParams dp;
@@ -41,8 +79,10 @@ int main() {
   dp.periodic = {false, true, false};
   dp.dt = 0.01;
   dpd::DpdSystem sys(dp, std::make_shared<dpd::ChannelZ>(10.0));
-  sys.fill(/*density=*/3.0, dpd::kSolvent, /*seed=*/7, /*margin=*/0.1);
-  std::printf("atomistic: %zu DPD particles\n\n", sys.size());
+  if (!restarting) {
+    sys.fill(/*density=*/3.0, dpd::kSolvent, /*seed=*/7, /*margin=*/0.1);
+    std::printf("atomistic: %zu DPD particles\n\n", sys.size());
+  }
 
   dpd::FlowBcParams fp;
   fp.axis = 0;
@@ -68,10 +108,53 @@ int main() {
   sp.ny = 1;
   sp.nz = 10;
   dpd::FieldSampler sampler(sys, sp);
-  for (int interval = 0; interval < 20; ++interval)
+
+  // --- checkpoint wiring: every stateful object registers by name ---
+  resilience::CheckpointCoordinator coord;
+  coord.add("ns2d", ns);
+  coord.add("dpd", sys);
+  coord.add("flowbc", bc);
+  coord.add("cdc", cdc);
+  coord.add("sampler", sampler);
+
+  int start_interval = 0;
+  if (restarting) {
+    try {
+      const auto info = coord.load(restart_dir);
+      start_interval = static_cast<int>(info.step);
+    } catch (const resilience::SnapshotError& e) {
+      std::fprintf(stderr, "restart failed: %s\n", e.what());
+      return 1;
+    }
+    std::printf("restarted from %s: interval %d, t_ns = %.4f, %zu DPD particles\n\n",
+                restart_dir.c_str(), start_interval, ns.time(), sys.size());
+  }
+
+  for (int interval = start_interval; interval < intervals; ++interval) {
     cdc.advance_interval([&] {
       if (interval >= 12) sampler.accumulate(sys);
     });
+    if (checkpoint_every > 0 && (interval + 1) % checkpoint_every == 0 &&
+        interval + 1 < intervals) {
+      const std::string dir = checkpoint_dir + "/step-" + std::to_string(interval + 1);
+      const std::size_t bytes =
+          coord.save(dir, static_cast<std::uint64_t>(interval + 1), ns.time());
+      std::printf("checkpoint: %s (%zu bytes)\n", dir.c_str(), bytes);
+    }
+  }
+
+  if (digest) {
+    // CRC32 over the concatenated component states: two runs arriving at the
+    // same interval must print the same digest (restart-equivalence check).
+    resilience::BlobWriter w;
+    ns.save_state(w);
+    sys.save_state(w);
+    bc.save_state(w);
+    cdc.save_state(w);
+    sampler.save_state(w);
+    std::printf("STATE_DIGEST %08x\n", resilience::crc32(w.data()));
+    return 0;
+  }
 
   // --- 4. compare the profiles across the interface ---
   auto profile = sampler.snapshot();

@@ -1,5 +1,7 @@
 #include "coupling/cdc.hpp"
 
+#include "resilience/blob.hpp"
+
 #include <cmath>
 
 namespace coupling {
@@ -63,6 +65,14 @@ double ContinuumDpdCoupler::interface_mismatch(dpd::FieldSampler& sampler) const
     ++cnt;
   }
   return cnt ? acc / static_cast<double>(cnt) : 0.0;
+}
+
+void ContinuumDpdCoupler::save_state(resilience::BlobWriter& w) const {
+  w.pod(static_cast<std::uint64_t>(exchanges_));
+}
+
+void ContinuumDpdCoupler::load_state(resilience::BlobReader& r) {
+  exchanges_ = static_cast<std::size_t>(r.pod<std::uint64_t>());
 }
 
 }  // namespace coupling

@@ -1,5 +1,7 @@
 #include "coupling/cdc3d.hpp"
 
+#include "resilience/blob.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -61,6 +63,14 @@ double ContinuumDpdCoupler3D::interface_mismatch(dpd::FieldSampler& sampler) con
     ++cnt;
   }
   return cnt ? acc / static_cast<double>(cnt) : 0.0;
+}
+
+void ContinuumDpdCoupler3D::save_state(resilience::BlobWriter& w) const {
+  w.pod(static_cast<std::uint64_t>(exchanges_));
+}
+
+void ContinuumDpdCoupler3D::load_state(resilience::BlobReader& r) {
+  exchanges_ = static_cast<std::size_t>(r.pod<std::uint64_t>());
 }
 
 }  // namespace coupling

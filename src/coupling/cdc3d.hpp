@@ -41,6 +41,10 @@ public:
 
   std::size_t exchanges() const { return exchanges_; }
 
+  /// Checkpoint the coupling bookkeeping (interface exchange counter).
+  void save_state(resilience::BlobWriter& w) const;
+  void load_state(resilience::BlobReader& r);
+
 private:
   void dpd_to_ns(const dpd::Vec3& p, double& x, double& y, double& z) const;
 

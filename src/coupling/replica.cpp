@@ -1,6 +1,9 @@
 #include "coupling/replica.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "resilience/blob.hpp"
 
 namespace coupling {
 
@@ -42,6 +45,66 @@ std::vector<double> ReplicaEnsemble::gather_average(const std::vector<double>& m
   }
   rep_.bcast(avg, 0);
   return avg;
+}
+
+bool ReplicaEnsemble::exchange_health(bool healthy) {
+  // Every current L3 rank (including ones that just caught a fault) reports
+  // (replica id, ok); the vote is symmetric, so all ranks compute the same
+  // retirement decision without a coordinator.
+  const std::int32_t report[2] = {static_cast<std::int32_t>(rid_),
+                                  static_cast<std::int32_t>(healthy ? 1 : 0)};
+  auto all = l3_.allgatherv(std::span<const std::int32_t>(report, 2));
+
+  std::vector<char> replica_ok(static_cast<std::size_t>(n_), 1);
+  for (std::size_t k = 0; k + 1 < all.size(); k += 2)
+    if (all[k + 1] == 0) replica_ok[static_cast<std::size_t>(all[k])] = 0;
+
+  std::vector<int> survivors;
+  for (int j = 0; j < n_; ++j)
+    if (replica_ok[static_cast<std::size_t>(j)]) survivors.push_back(j);
+  if (survivors.empty())
+    throw std::runtime_error("ReplicaEnsemble: every replica failed");
+  if (static_cast<int>(survivors.size()) == n_) return true;  // nothing lost
+
+  lost_ += n_ - static_cast<int>(survivors.size());
+  const auto pos = std::find(survivors.begin(), survivors.end(), rid_);
+  const bool stay = pos != survivors.end();
+
+  // Collective over the old L3: dead ranks participate with kUndefined so
+  // the split completes, then drop out with invalid communicators.
+  xmp::Comm shrunk = l3_.split(stay ? 0 : xmp::kUndefined, l3_.rank());
+  if (!stay) {
+    l3_ = xmp::Comm();
+    rep_ = xmp::Comm();
+    roots_ = xmp::Comm();
+    return false;
+  }
+
+  // Renumbering in old-id order: the lowest surviving replica becomes the
+  // new master (rid 0), whose root re-owns the continuum p2p channel.
+  l3_ = std::move(shrunk);
+  n_ = static_cast<int>(survivors.size());
+  rid_ = static_cast<int>(pos - survivors.begin());
+  rep_ = l3_.split(rid_, l3_.rank());
+  roots_ = l3_.split(rep_.rank() == 0 ? 0 : xmp::kUndefined, rid_);
+  return true;
+}
+
+void ReplicaEnsemble::save_state(resilience::BlobWriter& w) const {
+  w.pod(static_cast<std::int32_t>(n_));
+  w.pod(static_cast<std::int32_t>(rid_));
+  w.pod(static_cast<std::int32_t>(lost_));
+}
+
+void ReplicaEnsemble::load_state(resilience::BlobReader& r) {
+  const auto n = r.pod<std::int32_t>();
+  const auto rid = r.pod<std::int32_t>();
+  if (n != n_ || rid != rid_)
+    throw resilience::LayoutError(
+        "ReplicaEnsemble: checkpoint ensemble shape (n=" + std::to_string(n) +
+        ", rid=" + std::to_string(rid) + ") != restart shape (n=" + std::to_string(n_) +
+        ", rid=" + std::to_string(rid_) + ")");
+  lost_ = r.pod<std::int32_t>();
 }
 
 }  // namespace coupling

@@ -11,6 +11,11 @@
 
 #include "xmp/comm.hpp"
 
+namespace resilience {
+class BlobWriter;
+class BlobReader;
+}  // namespace resilience
+
 namespace coupling {
 
 class ReplicaEnsemble {
@@ -39,12 +44,33 @@ public:
   /// ensemble root, averaged, redistributed).
   std::vector<double> gather_average(const std::vector<double>& mine) const;
 
+  /// Post-step failover protocol: a collective health exchange over the
+  /// *current* L3 in which every rank reports whether it is healthy (a rank
+  /// that caught an injected/real fault reports false, then exits after this
+  /// call). Any replica containing a dead rank is retired whole; the
+  /// survivors are renumbered in old-id order, so losing the master promotes
+  /// the lowest surviving replica — the continuum side never notices because
+  /// the new master root re-owns the p2p channel. Returns true if this rank
+  /// survives (its communicators were rebuilt over the shrunken ensemble),
+  /// false if its replica was retired (all its comms are invalidated; the
+  /// caller must leave the step loop). Throws if every replica failed.
+  bool exchange_health(bool healthy);
+
+  /// Replicas retired by exchange_health over the ensemble's lifetime.
+  int replicas_lost() const { return lost_; }
+
+  /// Checkpoint the ensemble bookkeeping; load verifies the restart
+  /// ensemble shape (replica count, this rank's replica id) matches.
+  void save_state(resilience::BlobWriter& w) const;
+  void load_state(resilience::BlobReader& r);
+
 private:
   xmp::Comm l3_;
   xmp::Comm rep_;    ///< my replica group
   xmp::Comm roots_;  ///< all replica roots (invalid on non-root ranks)
   int n_ = 1;
   int rid_ = 0;
+  int lost_ = 0;
 };
 
 }  // namespace coupling

@@ -1,5 +1,7 @@
 #include "dpd/bonds.hpp"
 
+#include "resilience/blob.hpp"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -63,5 +65,9 @@ std::vector<std::size_t> make_rbc_ring(DpdSystem& sys, BondSet& bonds,
   }
   return idx;
 }
+
+void BondSet::save_state(resilience::BlobWriter& w) const { w.vec(bonds_); }
+
+void BondSet::load_state(resilience::BlobReader& r) { bonds_ = r.vec<Bond>(); }
 
 }  // namespace dpd

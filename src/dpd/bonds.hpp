@@ -31,6 +31,9 @@ public:
   /// Max |r - r0| / r0 over all bonds (integrity diagnostic).
   double max_strain(const DpdSystem& sys) const;
 
+  void save_state(resilience::BlobWriter& w) const;
+  void load_state(resilience::BlobReader& r);
+
 private:
   std::vector<Bond> bonds_;
 };

@@ -1,5 +1,7 @@
 #include "dpd/inflow.hpp"
 
+#include "resilience/blob.hpp"
+
 #include <cmath>
 
 namespace dpd {
@@ -79,6 +81,20 @@ void FlowBc::apply(DpdSystem& sys) {
     ++in_buffer;
     ++inserted_;
   }
+}
+
+void FlowBc::save_state(resilience::BlobWriter& w) const {
+  resilience::put_rng(w, rng_);
+  w.pod(static_cast<std::uint64_t>(inserted_));
+  w.pod(static_cast<std::uint64_t>(deleted_));
+  w.pod(fluid_volume_);
+}
+
+void FlowBc::load_state(resilience::BlobReader& r) {
+  resilience::get_rng(r, rng_);
+  inserted_ = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  deleted_ = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  r.pod(fluid_volume_);
 }
 
 }  // namespace dpd

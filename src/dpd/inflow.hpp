@@ -41,6 +41,11 @@ public:
   std::size_t inserted_total() const { return inserted_; }
   std::size_t deleted_total() const { return deleted_; }
 
+  /// Checkpoint the insertion RNG, counters and cached fluid volume (the
+  /// callback is configuration, re-established by the driver).
+  void save_state(resilience::BlobWriter& w) const;
+  void load_state(resilience::BlobReader& r);
+
 private:
   FlowBcParams prm_;
   std::mt19937 rng_;

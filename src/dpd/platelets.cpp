@@ -1,5 +1,7 @@
 #include "dpd/platelets.hpp"
 
+#include "resilience/blob.hpp"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -137,6 +139,20 @@ std::size_t PlateletModel::count(PlateletState s) const {
   for (PlateletState st : state_)
     if (st == s) ++c;
   return c;
+}
+
+void PlateletModel::save_state(resilience::BlobWriter& w) const {
+  w.vec(particles_);
+  w.vec(state_);
+  w.vec(trigger_time_);
+}
+
+void PlateletModel::load_state(resilience::BlobReader& r) {
+  particles_ = r.vec<std::size_t>();
+  state_ = r.vec<PlateletState>();
+  trigger_time_ = r.vec<double>();
+  if (state_.size() != particles_.size() || trigger_time_.size() != particles_.size())
+    throw resilience::CorruptError("PlateletModel: inconsistent array lengths in checkpoint");
 }
 
 }  // namespace dpd

@@ -49,6 +49,11 @@ public:
 
   std::size_t count(PlateletState s) const;
   std::size_t total() const { return particles_.size(); }
+
+  /// Checkpoint the per-platelet state machine (indices, states, trigger
+  /// times); parameters are configuration.
+  void save_state(resilience::BlobWriter& w) const;
+  void load_state(resilience::BlobReader& r);
   const std::vector<std::size_t>& particles() const { return particles_; }
   PlateletState state_of(std::size_t k) const { return state_[k]; }
 

@@ -1,5 +1,7 @@
 #include "dpd/sampling.hpp"
 
+#include "resilience/blob.hpp"
+
 #include <algorithm>
 
 namespace dpd {
@@ -43,6 +45,18 @@ Vec3 FieldSampler::bin_center(std::size_t bin) const {
   return {(static_cast<double>(bx) + 0.5) * box_.x / prm_.nx,
           (static_cast<double>(by) + 0.5) * box_.y / prm_.ny,
           (static_cast<double>(bz) + 0.5) * box_.z / prm_.nz};
+}
+
+void FieldSampler::save_state(resilience::BlobWriter& w) const {
+  w.vec(sum_);
+  w.vec(count_);
+}
+
+void FieldSampler::load_state(resilience::BlobReader& r) {
+  sum_ = r.vec<double>();
+  count_ = r.vec<std::size_t>();
+  if (sum_.size() != num_bins() || count_.size() != num_bins())
+    throw resilience::CorruptError("FieldSampler: bin count mismatch in checkpoint");
 }
 
 }  // namespace dpd

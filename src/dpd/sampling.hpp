@@ -41,6 +41,10 @@ public:
   /// Bin center coordinates.
   Vec3 bin_center(std::size_t bin) const;
 
+  /// Checkpoint the partially accumulated window (sums and counts).
+  void save_state(resilience::BlobWriter& w) const;
+  void load_state(resilience::BlobReader& r);
+
 private:
   SamplerParams prm_;
   Vec3 box_;

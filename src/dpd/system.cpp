@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "resilience/blob.hpp"
 #include "telemetry/registry.hpp"
 
 namespace dpd {
@@ -25,7 +26,8 @@ std::size_t DpdSystem::add_particle(const Vec3& pos, const Vec3& vel, Species s)
 }
 
 std::size_t DpdSystem::fill(double density, Species s, unsigned seed, double margin) {
-  std::mt19937 rng(seed);
+  rng_.seed(seed);
+  std::mt19937& rng = rng_;
   std::uniform_real_distribution<double> ux(0.0, prm_.box.x), uy(0.0, prm_.box.y),
       uz(0.0, prm_.box.z);
   std::normal_distribution<double> mb(0.0, std::sqrt(prm_.kBT));
@@ -315,6 +317,32 @@ std::size_t DpdSystem::count_species(Species s) const {
   for (Species sp : species_)
     if (sp == s) ++c;
   return c;
+}
+
+void DpdSystem::save_state(resilience::BlobWriter& w) const {
+  w.pod(step_);
+  w.vec(pos_);
+  w.vec(vel_);
+  w.vec(frc_);
+  w.vec(frc_old_);
+  w.vec(species_);
+  w.vec(frozen_);
+  resilience::put_rng(w, rng_);
+}
+
+void DpdSystem::load_state(resilience::BlobReader& r) {
+  r.pod(step_);
+  pos_ = r.vec<Vec3>();
+  vel_ = r.vec<Vec3>();
+  frc_ = r.vec<Vec3>();
+  frc_old_ = r.vec<Vec3>();
+  species_ = r.vec<Species>();
+  frozen_ = r.vec<char>();
+  const std::size_t n = pos_.size();
+  if (vel_.size() != n || frc_.size() != n || frc_old_.size() != n || species_.size() != n ||
+      frozen_.size() != n)
+    throw resilience::CorruptError("DpdSystem: inconsistent array lengths in checkpoint");
+  resilience::get_rng(r, rng_);
 }
 
 }  // namespace dpd

@@ -15,6 +15,11 @@
 #include "dpd/geometry.hpp"
 #include "dpd/types.hpp"
 
+namespace resilience {
+class BlobWriter;
+class BlobReader;
+}  // namespace resilience
+
 namespace dpd {
 
 class DpdSystem;
@@ -105,6 +110,18 @@ public:
   /// Minimum-image displacement a -> b under the box periodicity.
   Vec3 min_image(const Vec3& a, const Vec3& b) const;
 
+  /// The engine's persistent RNG (used by fill(); exposed so restart can
+  /// capture and restore the exact engine state).
+  std::mt19937& rng() { return rng_; }
+  const std::mt19937& rng() const { return rng_; }
+
+  /// Checkpoint the full particle state: step counter, positions/velocities,
+  /// current and previous forces (the modified-velocity-Verlet half-step
+  /// memory), species, frozen flags, and the RNG engine — everything needed
+  /// for a bitwise-identical restart. Modules serialise separately.
+  void save_state(resilience::BlobWriter& w) const;
+  void load_state(resilience::BlobReader& r);
+
   /// Loop over all interacting pairs (r < rc) via the cell list; fn gets
   /// (i, j, dr = xj - xi minimum image, r). Rebuilds the cell list.
   void for_each_pair(const std::function<void(std::size_t, std::size_t, const Vec3&, double)>& fn);
@@ -130,6 +147,7 @@ private:
   std::vector<long> cell_next_;
 
   std::uint64_t step_ = 0;
+  std::mt19937 rng_{0xD1CEu};
 };
 
 }  // namespace dpd

@@ -62,6 +62,18 @@ public:
     images_.clear();
   }
 
+  /// Warm-start state access for checkpoint/restart: the stored basis changes
+  /// which initial guess the next solve starts from, so a bitwise-identical
+  /// restart must carry it across.
+  const std::deque<Vector>& basis() const { return basis_; }
+  const std::deque<Vector>& images() const { return images_; }
+  void set_state(std::deque<Vector> basis, std::deque<Vector> images) {
+    basis_ = std::move(basis);
+    images_ = std::move(images);
+    while (basis_.size() > depth_) basis_.pop_front();
+    while (images_.size() > depth_) images_.pop_front();
+  }
+
 private:
   std::size_t depth_;
   std::deque<Vector> basis_;   // previous solutions, A-orthonormalised

@@ -1,5 +1,7 @@
 #include "nektar1d/artery.hpp"
 
+#include "resilience/blob_la.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -134,6 +136,29 @@ double Artery::max_wave_speed() const {
   for (std::size_t i = 0; i < A_.size(); ++i)
     m = std::max(m, std::fabs(U_[i]) + wave_speed(A_[i]));
   return m;
+}
+
+void Artery::save_state(resilience::BlobWriter& w) const {
+  resilience::put_vector(w, A_);
+  resilience::put_vector(w, U_);
+  w.pod(ghost_Al_);
+  w.pod(ghost_Ul_);
+  w.pod(ghost_Ar_);
+  w.pod(ghost_Ur_);
+}
+
+void Artery::load_state(resilience::BlobReader& r) {
+  la::Vector A, U;
+  resilience::get_vector(r, A);
+  resilience::get_vector(r, U);
+  if (A.size() != A_.size() || U.size() != U_.size())
+    throw resilience::LayoutError("Artery: checkpoint node count != discretisation");
+  A_ = std::move(A);
+  U_ = std::move(U);
+  r.pod(ghost_Al_);
+  r.pod(ghost_Ul_);
+  r.pod(ghost_Ar_);
+  r.pod(ghost_Ur_);
 }
 
 }  // namespace nektar1d

@@ -21,6 +21,11 @@
 #include "la/vector.hpp"
 #include "sem/gll.hpp"
 
+namespace resilience {
+class BlobWriter;
+class BlobReader;
+}  // namespace resilience
+
 namespace nektar1d {
 
 struct VesselParams {
@@ -79,6 +84,10 @@ public:
   /// Volumetric flow rate Q = A U at the right end.
   double Q_right() const { return A_right() * U_right(); }
   double Q_left() const { return A_left() * U_left(); }
+
+  /// Checkpoint the evolving state: (A, U) fields and ghost traces.
+  void save_state(resilience::BlobWriter& w) const;
+  void load_state(resilience::BlobReader& r);
 
 private:
   void rhs(const la::Vector& A, const la::Vector& U, la::Vector& dA, la::Vector& dU) const;

@@ -1,5 +1,7 @@
 #include "nektar1d/network.hpp"
 
+#include "resilience/blob_la.hpp"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -186,6 +188,24 @@ double ArterialNetwork::flow_at(int v, End e) const {
 double ArterialNetwork::area_at(int v, End e) const {
   const Artery& a = vessel(v);
   return e == End::Left ? a.A_left() : a.A_right();
+}
+
+void ArterialNetwork::save_state(resilience::BlobWriter& w) const {
+  w.pod(t_);
+  w.pod(static_cast<std::uint64_t>(vessels_.size()));
+  for (const auto& v : vessels_) v->save_state(w);
+  w.pod(static_cast<std::uint64_t>(outlets_.size()));
+  for (const auto& o : outlets_) w.pod(o.pc);
+}
+
+void ArterialNetwork::load_state(resilience::BlobReader& r) {
+  r.pod(t_);
+  if (r.pod<std::uint64_t>() != vessels_.size())
+    throw resilience::LayoutError("ArterialNetwork: checkpoint vessel count != topology");
+  for (auto& v : vessels_) v->load_state(r);
+  if (r.pod<std::uint64_t>() != outlets_.size())
+    throw resilience::LayoutError("ArterialNetwork: checkpoint outlet count != topology");
+  for (auto& o : outlets_) r.pod(o.pc);
 }
 
 }  // namespace nektar1d

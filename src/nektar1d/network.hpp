@@ -57,6 +57,12 @@ public:
   double flow_at(int v, End e) const;
   double area_at(int v, End e) const;
 
+  /// Checkpoint the network state: time, every vessel's (A, U) fields and
+  /// ghosts, and the windkessel capacitor pressures. Topology (vessels,
+  /// junctions, BCs) is configuration and must match at restart.
+  void save_state(resilience::BlobWriter& w) const;
+  void load_state(resilience::BlobReader& r);
+
 private:
   struct Inlet {
     int vessel;

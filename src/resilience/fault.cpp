@@ -1,0 +1,36 @@
+#include "resilience/fault.hpp"
+
+namespace resilience {
+
+FaultPlan& FaultPlan::kill_rank(int world_rank, std::uint64_t step) {
+  kills_.push_back({world_rank, step});
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt_stream(int world_rank, int at_save) {
+  streams_.push_back({world_rank, at_save, StreamFault::Corrupt});
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop_stream(int world_rank, int at_save) {
+  streams_.push_back({world_rank, at_save, StreamFault::Drop});
+  return *this;
+}
+
+void FaultPlan::check(int world_rank, std::uint64_t step) const {
+  for (const auto& k : kills_)
+    if (k.rank == world_rank && k.step == step) throw InjectedFault(world_rank, step);
+}
+
+FaultPlan::StreamFault FaultPlan::on_checkpoint_write(int world_rank) {
+  int nth;
+  {
+    std::lock_guard lk(mu_);
+    nth = saves_seen_[world_rank]++;
+  }
+  for (const auto& s : streams_)
+    if (s.rank == world_rank && s.at_save == nth) return s.kind;
+  return StreamFault::None;
+}
+
+}  // namespace resilience

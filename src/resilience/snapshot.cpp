@@ -1,0 +1,88 @@
+#include "resilience/snapshot.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace resilience {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'N', 'G', 'C', 'K', 'P', 'T', '1', '\0'};
+
+const std::uint32_t* crc_table() {
+  static const auto table = [] {
+    static std::uint32_t t[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c >> 1) ^ (c & 1u ? 0xEDB88320u : 0u);
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  const std::uint32_t* t = crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) c = t[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void write_frame_atomic(const std::string& path, const std::vector<std::uint8_t>& payload) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw SnapshotError("resilience: cannot open " + tmp + " for writing");
+    out.write(kMagic.data(), kMagic.size());
+    const std::uint32_t version = kFormatVersion;
+    const std::uint32_t crc = crc32(payload);
+    const std::uint64_t size = payload.size();
+    out.write(reinterpret_cast<const char*>(&version), sizeof version);
+    out.write(reinterpret_cast<const char*>(&crc), sizeof crc);
+    out.write(reinterpret_cast<const char*>(&size), sizeof size);
+    if (size)
+      out.write(reinterpret_cast<const char*>(payload.data()),
+                static_cast<std::streamsize>(size));
+    out.flush();
+    if (!out) throw SnapshotError("resilience: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw SnapshotError("resilience: rename " + tmp + " -> " + path + " failed");
+}
+
+std::vector<std::uint8_t> read_frame(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SnapshotError("resilience: cannot open checkpoint file " + path);
+
+  std::array<char, 8> magic{};
+  std::uint32_t version = 0, crc = 0;
+  std::uint64_t size = 0;
+  in.read(magic.data(), magic.size());
+  in.read(reinterpret_cast<char*>(&version), sizeof version);
+  in.read(reinterpret_cast<char*>(&crc), sizeof crc);
+  in.read(reinterpret_cast<char*>(&size), sizeof size);
+  if (!in) throw CorruptError("resilience: " + path + ": truncated header");
+  if (magic != kMagic) throw CorruptError("resilience: " + path + ": bad magic");
+  if (version != kFormatVersion)
+    throw CorruptError("resilience: " + path + ": unsupported format version " +
+                       std::to_string(version));
+
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(size));
+  if (size) {
+    in.read(reinterpret_cast<char*>(payload.data()), static_cast<std::streamsize>(size));
+    if (!in || in.gcount() != static_cast<std::streamsize>(size))
+      throw CorruptError("resilience: " + path + ": truncated payload (want " +
+                         std::to_string(size) + " bytes)");
+  }
+  if (crc32(payload) != crc)
+    throw CorruptError("resilience: " + path + ": CRC mismatch (file corrupted)");
+  return payload;
+}
+
+}  // namespace resilience

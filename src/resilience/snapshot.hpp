@@ -1,0 +1,37 @@
+#pragma once
+// Snapshot file framing: every checkpoint file (rank payload or manifest) is
+//
+//   [8-byte magic "NGCKPT1\0"] [u32 format version] [u32 CRC32 of payload]
+//   [u64 payload size] [payload bytes]
+//
+// written atomically (tmp file + rename) so a crash mid-write can never
+// leave a half-written file under the final name, and validated on read so
+// truncation or bit-rot surfaces as CorruptError instead of UB.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "resilience/blob.hpp"
+
+namespace resilience {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Standard CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+inline std::uint32_t crc32(const std::vector<std::uint8_t>& v, std::uint32_t seed = 0) {
+  return crc32(v.data(), v.size(), seed);
+}
+
+/// Frame `payload` and write it to `path` via `<path>.tmp` + rename.
+/// Throws SnapshotError on any I/O failure.
+void write_frame_atomic(const std::string& path, const std::vector<std::uint8_t>& payload);
+
+/// Read and validate a framed file. Throws SnapshotError when the file is
+/// missing/unreadable and CorruptError when the magic, version, size, or CRC
+/// check fails.
+std::vector<std::uint8_t> read_frame(const std::string& path);
+
+}  // namespace resilience

@@ -1,5 +1,7 @@
 #include "sem/helmholtz.hpp"
 
+#include "resilience/blob_la.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -187,6 +189,14 @@ la::CgResult HelmholtzSolver::solve_with_values(const la::Vector& f, const la::V
     for (std::size_t gi = 0; gi < n; ++gi) u[gi] -= mean;
   }
   return res;
+}
+
+void HelmholtzSolver::save_state(resilience::BlobWriter& w) const {
+  resilience::put_projector(w, projector_);
+}
+
+void HelmholtzSolver::load_state(resilience::BlobReader& r) {
+  resilience::get_projector(r, projector_);
 }
 
 }  // namespace sem

@@ -13,6 +13,11 @@
 #include "la/vector.hpp"
 #include "sem/operators.hpp"
 
+namespace resilience {
+class BlobWriter;
+class BlobReader;
+}  // namespace resilience
+
 namespace sem {
 
 enum class PreconditionerKind {
@@ -54,6 +59,10 @@ public:
     projector_ = la::SolutionProjector(depth);
     projection_enabled_ = depth > 0;
   }
+
+  /// Checkpoint the warm-start projector (the solver's only mutable state).
+  void save_state(resilience::BlobWriter& w) const;
+  void load_state(resilience::BlobReader& r);
 
 private:
   void apply_block_schwarz(const double* r, double* z, std::size_t n) const;

@@ -1,5 +1,7 @@
 #include "sem/hex3d.hpp"
 
+#include "resilience/blob_la.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -394,6 +396,14 @@ la::CgResult HelmholtzSolver3D::solve_with_values(const la::Vector& f,
     for (std::size_t gi = 0; gi < n; ++gi) u[gi] -= num / den;
   }
   return res;
+}
+
+void HelmholtzSolver3D::save_state(resilience::BlobWriter& w) const {
+  resilience::put_projector(w, projector_);
+}
+
+void HelmholtzSolver3D::load_state(resilience::BlobReader& r) {
+  resilience::get_projector(r, projector_);
 }
 
 }  // namespace sem

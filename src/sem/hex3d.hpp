@@ -18,6 +18,11 @@
 #include "la/vector.hpp"
 #include "sem/gll.hpp"
 
+namespace resilience {
+class BlobWriter;
+class BlobReader;
+}  // namespace resilience
+
 namespace sem {
 
 /// Boundary tags of the box domain's six faces.
@@ -131,6 +136,10 @@ public:
   const std::vector<std::size_t>& dirichlet_nodes() const { return dnodes_; }
   bool pure_neumann() const { return dnodes_.empty(); }
   la::CgOptions& options() { return opt_; }
+
+  /// Checkpoint the warm-start projector (the solver's only mutable state).
+  void save_state(resilience::BlobWriter& w) const;
+  void load_state(resilience::BlobReader& r);
 
 private:
   const Operators3D* ops_;

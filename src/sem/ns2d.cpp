@@ -5,6 +5,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "resilience/blob_la.hpp"
 #include "telemetry/registry.hpp"
 
 namespace sem {
@@ -220,6 +221,51 @@ std::size_t NavierStokes2D::step() {
 
   t_ = tn1;
   return iters;
+}
+
+void NavierStokes2D::save_state(resilience::BlobWriter& w) const {
+  w.pod(t_);
+  w.pod(static_cast<std::uint8_t>(have_history_));
+  resilience::put_vector(w, u_);
+  resilience::put_vector(w, v_);
+  resilience::put_vector(w, p_);
+  resilience::put_vector(w, u_prev_);
+  resilience::put_vector(w, v_prev_);
+  resilience::put_vector(w, conv_u_prev_);
+  resilience::put_vector(w, conv_v_prev_);
+  // solver warm-start projectors (solvers exist after the first step; a
+  // pre-first-step checkpoint records them as absent)
+  w.pod(static_cast<std::uint8_t>(pressure_solver_ != nullptr));
+  if (pressure_solver_) {
+    pressure_solver_->save_state(w);
+    velocity_solver_->save_state(w);
+    w.pod(static_cast<std::uint8_t>(velocity_solver2_ != nullptr));
+    if (velocity_solver2_) velocity_solver2_->save_state(w);
+  }
+}
+
+void NavierStokes2D::load_state(resilience::BlobReader& r) {
+  r.pod(t_);
+  have_history_ = r.pod<std::uint8_t>() != 0;
+  resilience::get_vector(r, u_);
+  resilience::get_vector(r, v_);
+  resilience::get_vector(r, p_);
+  if (u_.size() != d_->num_nodes())
+    throw resilience::LayoutError("NS2D: checkpoint field size " + std::to_string(u_.size()) +
+                                  " != discretization size " + std::to_string(d_->num_nodes()));
+  resilience::get_vector(r, u_prev_);
+  resilience::get_vector(r, v_prev_);
+  resilience::get_vector(r, conv_u_prev_);
+  resilience::get_vector(r, conv_v_prev_);
+  if (r.pod<std::uint8_t>() != 0) {
+    if (!pressure_solver_) build_solvers();
+    pressure_solver_->load_state(r);
+    velocity_solver_->load_state(r);
+    const bool had2 = r.pod<std::uint8_t>() != 0;
+    if (had2 != (velocity_solver2_ != nullptr))
+      throw resilience::LayoutError("NS2D: checkpoint time_order != configured time_order");
+    if (velocity_solver2_) velocity_solver2_->load_state(r);
+  }
 }
 
 double NavierStokes2D::max_speed() const {

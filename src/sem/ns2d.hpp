@@ -23,6 +23,11 @@
 #include "sem/helmholtz.hpp"
 #include "sem/operators.hpp"
 
+namespace resilience {
+class BlobWriter;
+class BlobReader;
+}  // namespace resilience
+
 namespace sem {
 
 class NavierStokes2D {
@@ -72,6 +77,13 @@ public:
 
   /// Max pointwise velocity magnitude (CFL monitoring).
   double max_speed() const;
+
+  /// Checkpoint the full time-stepping state: fields, order-2 history, time,
+  /// and every Helmholtz solver's warm-start projector — enough for a restart
+  /// to continue bitwise identically. BCs/forcing are configuration and must
+  /// be re-established by the driver before load_state.
+  void save_state(resilience::BlobWriter& w) const;
+  void load_state(resilience::BlobReader& r);
 
 private:
   struct TagBc {

@@ -14,6 +14,11 @@
 
 #include "sem/hex3d.hpp"
 
+namespace resilience {
+class BlobWriter;
+class BlobReader;
+}  // namespace resilience
+
 namespace sem {
 
 class NavierStokes3D {
@@ -40,6 +45,12 @@ public:
 
   /// Advance one step; returns total CG iterations.
   std::size_t step();
+
+  /// Checkpoint the full time-stepping state (fields, order-2 history, time,
+  /// solver warm-start projectors). BCs/forcing are configuration and must be
+  /// re-established by the driver before load_state.
+  void save_state(resilience::BlobWriter& w) const;
+  void load_state(resilience::BlobReader& r);
 
   double time() const { return t_; }
   const la::Vector& u() const { return u_; }

@@ -31,10 +31,12 @@ void JsonWriter::string_literal(const std::string& s) {
       case '\n': out_ << "\\n"; break;
       case '\t': out_ << "\\t"; break;
       case '\r': out_ << "\\r"; break;
+      case '\b': out_ << "\\b"; break;
+      case '\f': out_ << "\\f"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned char>(c));
           out_ << buf;
         } else {
           out_ << c;

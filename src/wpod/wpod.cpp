@@ -1,5 +1,7 @@
 #include "wpod/wpod.hpp"
 
+#include "resilience/blob_la.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -134,6 +136,20 @@ la::Vector standard_average(const std::vector<la::Vector>& snapshots) {
     la::simd::axpy(1.0, s.data(), m.data(), m.size());
   la::simd::scale(1.0 / static_cast<double>(snapshots.size()), m.data(), m.size());
   return m;
+}
+
+void StreamingWpod::save_state(resilience::BlobWriter& w) const {
+  w.pod(static_cast<std::uint64_t>(window_));
+  w.pod(static_cast<std::uint64_t>(since_last_));
+  w.pod(static_cast<std::uint64_t>(analyses_));
+  resilience::put_vector_deque(w, buf_);
+}
+
+void StreamingWpod::load_state(resilience::BlobReader& r) {
+  window_ = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  since_last_ = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  analyses_ = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  resilience::get_vector_deque(r, buf_);
 }
 
 }  // namespace wpod

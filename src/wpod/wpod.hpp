@@ -19,6 +19,11 @@
 #include "la/dense.hpp"
 #include "la/vector.hpp"
 
+namespace resilience {
+class BlobWriter;
+class BlobReader;
+}  // namespace resilience
+
 namespace wpod {
 
 struct WpodOptions {
@@ -83,6 +88,11 @@ public:
 
   std::size_t window() const { return window_; }
   std::size_t analyses_done() const { return analyses_; }
+
+  /// Checkpoint the adaptive window state: current window length, stride
+  /// phase, analysis count and the buffered snapshots.
+  void save_state(resilience::BlobWriter& w) const;
+  void load_state(resilience::BlobReader& r);
 
 private:
   Options opt_;

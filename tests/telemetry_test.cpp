@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <limits>
 #include <mutex>
 #include <thread>
 
@@ -15,6 +16,7 @@
 #include "telemetry/bench_report.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/comm_matrix.hpp"
+#include "telemetry/json.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/report.hpp"
 #include "xmp/comm.hpp"
@@ -310,4 +312,35 @@ TEST(TelemetryCommMatrix, AnalyticThreeStepExchange) {
   const auto js = matrix.to_json();
   EXPECT_NE(js.find("\"mci.exchange\""), std::string::npos);
   EXPECT_NE(js.find("\"total_messages\":10"), std::string::npos);
+}
+
+// ---------------- JSON emitter hygiene ----------------
+// Telemetry JSON ends up in external consumers (Chrome tracing, CI parsers):
+// control characters must be escaped and non-finite doubles must not produce
+// bare NaN/Inf tokens, which are not JSON.
+
+TEST(TelemetryJson, EscapesControlCharacters) {
+  telemetry::JsonWriter w;
+  w.value(std::string("a\"b\\c\nd\te\rf\bg\fh\x01i"));
+  EXPECT_EQ(w.str(), "\"a\\\"b\\\\c\\nd\\te\\rf\\bg\\fh\\u0001i\"");
+}
+
+TEST(TelemetryJson, EscapesHighControlAndKeepsUtf8Bytes) {
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.key(std::string("k\x1f"));
+  w.value(std::string("caf\xc3\xa9"));  // UTF-8 bytes pass through untouched
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"k\\u001f\":\"caf\xc3\xa9\"}");
+}
+
+TEST(TelemetryJson, NonFiniteDoublesAreNull) {
+  telemetry::JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(-std::numeric_limits<double>::infinity());
+  w.value(1.5);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null,null,1.5]");
 }

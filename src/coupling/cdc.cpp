@@ -3,6 +3,8 @@
 #include "resilience/blob.hpp"
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace coupling {
 
@@ -11,6 +13,13 @@ ContinuumDpdCoupler::ContinuumDpdCoupler(sem::NavierStokes2D& ns, dpd::DpdSystem
                                          const ScaleMap& scales, const TimeProgression& tp)
     : ns_(&ns), dpd_(&dpd_sys), flow_bc_(&flow_bc), region_(region), scales_(scales), tp_(tp) {
   scales_.validate();
+  // A degenerate region makes dpd_to_ns collapse every particle onto a line
+  // (divide-free but silently wrong); reject it up front.
+  if (!(region_.x1 > region_.x0) || !(region_.y1 > region_.y0))
+    throw std::invalid_argument("ContinuumDpdCoupler: degenerate EmbeddedRegion [" +
+                                std::to_string(region_.x0) + ", " + std::to_string(region_.x1) +
+                                "] x [" + std::to_string(region_.y0) + ", " +
+                                std::to_string(region_.y1) + "]: need x1 > x0 and y1 > y0");
 }
 
 void ContinuumDpdCoupler::dpd_to_ns(const dpd::Vec3& p, double& x_ns, double& y_ns) const {

@@ -1,170 +1,203 @@
 #include "xmp/comm.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cassert>
 #include <thread>
+
+#include "xmp/checker.hpp"
+#include "xmp/detail.hpp"
 
 namespace xmp {
 namespace detail {
 
-struct Message {
-  int src;  // group-local source rank
-  int tag;
-  std::vector<std::uint8_t> data;
-};
-
-struct Mailbox {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<Message> q;
-};
-
-/// State shared by every communicator of one run(): abort flag, trace sink,
-/// and a registry used to wake all blocked ranks on abort.
-struct RunState {
-  std::atomic<bool> aborted{false};
-  /// Fast-path flag mirroring `trace != nullptr`: senders skip the trace
-  /// mutex entirely when no sink is installed.
-  std::atomic<bool> has_trace{false};
-  int world_size = 0;
-  std::mutex trace_mu;
-  TraceSink trace;
-
-  std::mutex reg_mu;
-  std::vector<std::weak_ptr<Group>> groups;
-
-  void abort_all();
-};
-
-struct Group : std::enable_shared_from_this<Group> {
-  std::shared_ptr<RunState> rs;
-  std::vector<int> world_ranks;  // local rank -> world rank
-  std::vector<std::unique_ptr<Mailbox>> boxes;
-
-  // one-shot-combine collective slot
-  std::mutex cmu;
-  std::condition_variable ccv;
-  int arrived = 0;
-  std::uint64_t gen = 0;
-  std::vector<std::pair<const void*, std::size_t>> inputs;
-  std::shared_ptr<void> result;
-
-  explicit Group(std::shared_ptr<RunState> rs_, std::vector<int> wr)
-      : rs(std::move(rs_)), world_ranks(std::move(wr)), inputs(world_ranks.size()) {
-    boxes.reserve(world_ranks.size());
-    for (std::size_t i = 0; i < world_ranks.size(); ++i)
-      boxes.push_back(std::make_unique<Mailbox>());
-  }
-
-  int size() const { return static_cast<int>(world_ranks.size()); }
-
-  void check_abort() const {
-    if (rs->aborted.load(std::memory_order_relaxed)) throw AbortedError{};
-  }
-
-  void wake_all() {
-    {
-      std::lock_guard lk(cmu);
-      ccv.notify_all();
-    }
-    for (auto& b : boxes) {
-      std::lock_guard lk(b->mu);
-      b->cv.notify_all();
-    }
-  }
-
-  using CombineFn =
-      std::function<std::shared_ptr<void>(const std::vector<std::pair<const void*, std::size_t>>&)>;
-
-  /// All ranks enter; the last to arrive runs `combine` exactly once over
-  /// every rank's (ptr, bytes) input; every rank leaves with the shared
-  /// result. Inputs point into callers' stacks, which stay alive because
-  /// those callers are blocked here until the generation advances.
-  std::shared_ptr<void> collective(int rank, const void* ptr, std::size_t bytes,
-                                   const CombineFn& combine) {
-    std::unique_lock lk(cmu);
-    check_abort();
-    const std::uint64_t mygen = gen;
-    inputs[static_cast<std::size_t>(rank)] = {ptr, bytes};
-    std::shared_ptr<void> out;
-    if (++arrived == size()) {
-      result = combine(inputs);
-      out = result;
-      arrived = 0;
-      ++gen;
-      ccv.notify_all();
-    } else {
-      ccv.wait(lk, [&] {
-        return gen != mygen || rs->aborted.load(std::memory_order_relaxed);
-      });
-      check_abort();
-      out = result;
-    }
-    return out;
-  }
-
-  void emit_trace(int src, int dst, std::size_t bytes, int tag, TraceKind kind) {
-    if (!rs->has_trace.load(std::memory_order_acquire)) return;
-    std::lock_guard tl(rs->trace_mu);
-    if (rs->trace)
-      rs->trace(TraceEvent{world_ranks[static_cast<std::size_t>(src)],
-                           world_ranks[static_cast<std::size_t>(dst)], bytes, tag, kind});
-  }
-
-  void send(int src, int dst, int tag, const void* data, std::size_t bytes) {
-    check_abort();
-    if (dst < 0 || dst >= size()) throw std::out_of_range("xmp: send dst");
-    emit_trace(src, dst, bytes, tag, TraceKind::P2P);
-    Mailbox& box = *boxes[static_cast<std::size_t>(dst)];
-    Message m{src, tag, {}};
-    m.data.resize(bytes);
-    if (bytes) std::memcpy(m.data.data(), data, bytes);
-    {
-      std::lock_guard lk(box.mu);
-      box.q.push_back(std::move(m));
-    }
-    box.cv.notify_all();
-  }
-
-  std::vector<std::uint8_t> recv(int me, int src, int tag, int* out_src, int* out_tag) {
-    if (src != kAnySource && (src < 0 || src >= size()))
-      throw std::out_of_range("xmp: recv src");
-    Mailbox& box = *boxes[static_cast<std::size_t>(me)];
-    std::unique_lock lk(box.mu);
-    auto match = [&]() -> std::deque<Message>::iterator {
-      for (auto it = box.q.begin(); it != box.q.end(); ++it)
-        if ((src == kAnySource || it->src == src) && (tag == kAnyTag || it->tag == tag))
-          return it;
-      return box.q.end();
-    };
-    std::deque<Message>::iterator it;
-    box.cv.wait(lk, [&] {
-      it = match();
-      return it != box.q.end() || rs->aborted.load(std::memory_order_relaxed);
-    });
-    check_abort();
-    Message m = std::move(*it);
-    box.q.erase(it);
-    lk.unlock();
-    if (out_src) *out_src = m.src;
-    if (out_tag) *out_tag = m.tag;
-    return std::move(m.data);
-  }
-};
+void RunState::record_check_error(std::exception_ptr e) {
+  std::lock_guard lk(check_err_mu);
+  if (!check_error) check_error = std::move(e);
+}
 
 void RunState::abort_all() {
   aborted.store(true);
-  std::lock_guard lk(reg_mu);
-  for (auto& w : groups)
-    if (auto g = w.lock()) g->wake_all();
+  // Snapshot under reg_mu, wake outside it: split() registers the new group
+  // (taking reg_mu) from inside the parent's collective combiner, i.e. while
+  // holding that group's cmu — waking under reg_mu would invert that order.
+  std::vector<std::shared_ptr<Group>> live;
+  {
+    std::lock_guard lk(reg_mu);
+    live.reserve(groups.size());
+    for (auto& w : groups)
+      if (auto g = w.lock()) live.push_back(std::move(g));
+  }
+  for (auto& g : live) g->wake_all();
+}
+
+Group::Group(std::shared_ptr<RunState> rs_, int id_, std::vector<int> wr)
+    : rs(std::move(rs_)), id(id_), world_ranks(std::move(wr)), inputs(world_ranks.size()),
+      descs(world_ranks.size()) {
+  boxes.reserve(world_ranks.size());
+  for (std::size_t i = 0; i < world_ranks.size(); ++i)
+    boxes.push_back(std::make_unique<Mailbox>());
+}
+
+std::string Group::name() const {
+  if (id == 0) return "world";
+  std::string s = "comm#" + std::to_string(id) + "{";
+  const std::size_t shown = std::min<std::size_t>(world_ranks.size(), 8);
+  for (std::size_t i = 0; i < shown; ++i) {
+    if (i) s += ",";
+    s += std::to_string(world_ranks[i]);
+  }
+  if (shown < world_ranks.size()) s += ",...";
+  return s + "}";
+}
+
+int Group::local_rank_of_world(int world) const {
+  for (std::size_t i = 0; i < world_ranks.size(); ++i)
+    if (world_ranks[i] == world) return static_cast<int>(i);
+  return -1;
+}
+
+void Group::wake_all() {
+  {
+    std::lock_guard lk(cmu);
+    ccv.notify_all();
+  }
+  for (auto& b : boxes) {
+    std::lock_guard lk(b->mu);
+    b->cv.notify_all();
+  }
+}
+
+std::shared_ptr<void> Group::collective(int rank, const void* ptr, std::size_t bytes,
+                                        const CollDesc& desc, const CombineFn& combine) {
+#ifdef XMP_CHECKED
+  if (rs->checker) rs->checker->check_affinity(*this, rank, to_string(desc.kind));
+#endif
+  std::unique_lock lk(cmu);
+  check_abort();
+  const std::uint64_t mygen = gen;
+  inputs[static_cast<std::size_t>(rank)] = {ptr, bytes};
+#ifdef XMP_CHECKED
+  if (rs->checker) descs[static_cast<std::size_t>(rank)] = desc;
+#endif
+  std::shared_ptr<void> out;
+  if (++arrived == size()) {
+#ifdef XMP_CHECKED
+    // Throws CheckError on mismatch (after marking the run aborted, so the
+    // co-arrived ranks wake with AbortedError instead of hanging).
+    if (rs->checker) rs->checker->verify_collective(*this, descs, mygen);
+#endif
+    result = combine(inputs);
+    out = result;
+    arrived = 0;
+    ++gen;
+    ccv.notify_all();
+  } else {
+#ifdef XMP_CHECKED
+    bool registered = false;
+#endif
+    ccv.wait(lk, [&] {
+      if (gen != mygen || rs->aborted.load(std::memory_order_relaxed)) return true;
+#ifdef XMP_CHECKED
+      if (rs->checker && !registered) {
+        rs->checker->block_collective(*this, rank, desc, mygen, bytes);
+        registered = true;
+      }
+#endif
+      return false;
+    });
+#ifdef XMP_CHECKED
+    if (registered) rs->checker->unblock(*this, rank);
+#endif
+    check_abort();
+    out = result;
+  }
+  return out;
+}
+
+void Group::emit_trace(int src, int dst, std::size_t bytes, int tag, TraceKind kind) {
+  if (!rs->has_trace.load(std::memory_order_acquire)) return;
+  std::lock_guard tl(rs->trace_mu);
+  if (rs->trace)
+    rs->trace(TraceEvent{world_ranks[static_cast<std::size_t>(src)],
+                         world_ranks[static_cast<std::size_t>(dst)], bytes, tag, kind});
+}
+
+void Group::send(int src, int dst, int tag, const void* data, std::size_t bytes) {
+#ifdef XMP_CHECKED
+  if (rs->checker) rs->checker->check_affinity(*this, src, "send");
+#endif
+  check_abort();
+  if (dst < 0 || dst >= size())
+    throw std::out_of_range("xmp: send dst " + std::to_string(dst) +
+                            " out of range for comm of size " + std::to_string(size()));
+  emit_trace(src, dst, bytes, tag, TraceKind::P2P);
+  Mailbox& box = *boxes[static_cast<std::size_t>(dst)];
+  Message m{src, tag, {}};
+  m.data.resize(bytes);
+  // lint: memcpy-ok (destination is the untyped mailbox byte buffer)
+  if (bytes) std::memcpy(m.data.data(), data, bytes);
+  {
+    std::lock_guard lk(box.mu);
+    box.q.push_back(std::move(m));
+  }
+  box.cv.notify_all();
+}
+
+std::vector<std::uint8_t> Group::recv(int me, int src, int tag, int* out_src, int* out_tag) {
+#ifdef XMP_CHECKED
+  if (rs->checker) rs->checker->check_affinity(*this, me, "recv");
+#endif
+  if (src != kAnySource && (src < 0 || src >= size()))
+    throw std::out_of_range("xmp: recv src " + std::to_string(src) +
+                            " out of range for comm of size " + std::to_string(size()) +
+                            " (tag " + std::to_string(tag) + ")");
+  Mailbox& box = *boxes[static_cast<std::size_t>(me)];
+  std::unique_lock lk(box.mu);
+  auto match = [&]() -> std::deque<Message>::iterator {
+    for (auto it = box.q.begin(); it != box.q.end(); ++it)
+      if ((src == kAnySource || it->src == src) && (tag == kAnyTag || it->tag == tag))
+        return it;
+    return box.q.end();
+  };
+  std::deque<Message>::iterator it;
+#ifdef XMP_CHECKED
+  bool registered = false;
+#endif
+  box.cv.wait(lk, [&] {
+    it = match();
+    if (it != box.q.end() || rs->aborted.load(std::memory_order_relaxed)) return true;
+#ifdef XMP_CHECKED
+    // Register in the wait-for graph only when actually parking (the fast
+    // path where the message is already queued never touches the registry).
+    if (rs->checker && !registered) {
+      rs->checker->block_recv(*this, me, src, tag);
+      registered = true;
+    }
+#endif
+    return false;
+  });
+#ifdef XMP_CHECKED
+  if (registered) rs->checker->unblock(*this, me);
+#endif
+  check_abort();
+  Message m = std::move(*it);
+  box.q.erase(it);
+  lk.unlock();
+  if (out_src) *out_src = m.src;
+  if (out_tag) *out_tag = m.tag;
+  return std::move(m.data);
 }
 
 namespace {
 std::shared_ptr<Group> make_group(const std::shared_ptr<RunState>& rs, std::vector<int> wr) {
-  auto g = std::make_shared<Group>(rs, std::move(wr));
-  std::lock_guard lk(rs->reg_mu);
-  rs->groups.push_back(g);
+  auto g = std::make_shared<Group>(rs, rs->next_group_id.fetch_add(1), std::move(wr));
+  {
+    std::lock_guard lk(rs->reg_mu);
+    rs->groups.push_back(g);
+  }
+#ifdef XMP_CHECKED
+  if (rs->checker) rs->checker->retain_group(g);
+#endif
   return g;
 }
 }  // namespace
@@ -190,7 +223,8 @@ std::vector<std::uint8_t> Comm::recv_bytes(int src, int tag, int* out_src, int* 
 
 void Comm::barrier() const {
   if (!group_) throw std::logic_error("xmp: invalid comm");
-  group_->collective(rank_, nullptr, 0,
+  // lint: no-trace (barriers carry no payload attribution)
+  group_->collective(rank_, nullptr, 0, CollDesc{CollKind::Barrier, 0, -1, -1, 0},
                      [](const auto&) { return std::make_shared<int>(0); });
 }
 
@@ -204,6 +238,29 @@ const char* to_string(TraceKind k) {
     case TraceKind::Reduce: return "reduce";
   }
   return "?";
+}
+
+const char* to_string(CollKind k) {
+  switch (k) {
+    case CollKind::Raw: return "collect_bytes";
+    case CollKind::Barrier: return "barrier";
+    case CollKind::Bcast: return "bcast";
+    case CollKind::Gatherv: return "gatherv";
+    case CollKind::Allgatherv: return "allgatherv";
+    case CollKind::Scatterv: return "scatterv";
+    case CollKind::Allreduce: return "allreduce";
+    case CollKind::Split: return "split";
+    case CollKind::SetTrace: return "set_trace";
+  }
+  return "?";
+}
+
+bool checked_available() {
+#ifdef XMP_CHECKED
+  return true;
+#else
+  return false;
+#endif
 }
 
 void Comm::trace_transfer(int src, int dst, std::size_t bytes, TraceKind kind) const {
@@ -222,7 +279,10 @@ void Comm::set_trace(TraceSink sink) const {
     throw std::logic_error(
         "xmp: set_trace is collective over the WORLD communicator (or pass the "
         "sink to xmp::run to install it before ranks start)");
-  group_->collective(rank_, &sink, sizeof sink, [rs](const auto& ins) {
+  // lint: no-trace (installs the sink itself; nothing to attribute)
+  group_->collective(rank_, &sink, sizeof sink,
+                     CollDesc{CollKind::SetTrace, sizeof sink, -1, -1, kShapeUnknown},
+                     [rs](const auto& ins) {
     TraceSink* chosen = nullptr;
     for (const auto& [ptr, bytes] : ins) {
       (void)bytes;
@@ -252,7 +312,10 @@ Comm Comm::split(int color, int key) const {
     std::vector<int> new_rank;
   };
   In mine{color, key, rank_};
-  auto res = group_->collective(rank_, &mine, sizeof mine, [this](const auto& ins) {
+  // lint: no-trace (communicator management, not data movement)
+  auto res = group_->collective(
+      rank_, &mine, sizeof mine, CollDesc{CollKind::Split, sizeof mine, -1, -1, kShapeUnknown},
+      [this](const auto& ins) {
     const int n = static_cast<int>(ins.size());
     std::vector<In> all(static_cast<std::size_t>(n));
     for (int r = 0; r < n; ++r)
@@ -293,11 +356,12 @@ namespace {
 using Blobs = std::vector<std::vector<std::uint8_t>>;
 
 std::shared_ptr<Blobs> collect_bytes(const std::shared_ptr<detail::Group>& g, int rank,
-                                     const void* ptr, std::size_t bytes) {
-  auto res = g->collective(rank, ptr, bytes, [](const auto& ins) {
+                                     const void* ptr, std::size_t bytes, const CollDesc& desc) {
+  auto res = g->collective(rank, ptr, bytes, desc, [](const auto& ins) {
     auto blobs = std::make_shared<Blobs>(ins.size());
     for (std::size_t r = 0; r < ins.size(); ++r) {
       (*blobs)[r].resize(ins[r].second);
+      // lint: memcpy-ok (destination is an untyped contribution blob)
       if (ins[r].second) std::memcpy((*blobs)[r].data(), ins[r].first, ins[r].second);
     }
     return std::shared_ptr<void>(blobs);
@@ -310,9 +374,10 @@ std::shared_ptr<Blobs> collect_bytes(const std::shared_ptr<detail::Group>& g, in
 // ---- collectives built on collect_bytes ------------------------------------
 
 std::shared_ptr<const std::vector<std::vector<std::uint8_t>>> Comm::collect_bytes_all(
-    const void* ptr, std::size_t bytes) const {
+    const void* ptr, std::size_t bytes, const CollDesc& desc) const {
   if (!group_) throw std::logic_error("xmp: invalid comm");
-  return collect_bytes(group_, rank_, ptr, bytes);
+  // lint: no-trace (raw primitive; the typed collectives attribute traffic)
+  return collect_bytes(group_, rank_, ptr, bytes, desc);
 }
 
 namespace {
@@ -328,7 +393,8 @@ void trace_allreduce(const Comm& c, std::size_t bytes) {
 
 double Comm::allreduce(double v, Op op) const {
   trace_allreduce(*this, sizeof v);
-  auto blobs = collect_bytes(group_, rank_, &v, sizeof v);
+  auto blobs = collect_bytes(group_, rank_, &v, sizeof v,
+                             CollDesc{CollKind::Allreduce, sizeof v, -1, static_cast<int>(op), 1});
   double acc = 0.0;
   bool first = true;
   for (const auto& b : *blobs) {
@@ -350,7 +416,8 @@ double Comm::allreduce(double v, Op op) const {
 
 std::int64_t Comm::allreduce(std::int64_t v, Op op) const {
   trace_allreduce(*this, sizeof v);
-  auto blobs = collect_bytes(group_, rank_, &v, sizeof v);
+  auto blobs = collect_bytes(group_, rank_, &v, sizeof v,
+                             CollDesc{CollKind::Allreduce, sizeof v, -1, static_cast<int>(op), 1});
   std::int64_t acc = 0;
   bool first = true;
   for (const auto& b : *blobs) {
@@ -372,12 +439,16 @@ std::int64_t Comm::allreduce(std::int64_t v, Op op) const {
 
 std::vector<double> Comm::allreduce(std::span<const double> v, Op op) const {
   trace_allreduce(*this, v.size() * sizeof(double));
-  auto blobs = collect_bytes(group_, rank_, v.data(), v.size() * sizeof(double));
+  auto blobs = collect_bytes(
+      group_, rank_, v.data(), v.size() * sizeof(double),
+      CollDesc{CollKind::Allreduce, sizeof(double), -1, static_cast<int>(op), v.size()});
   std::vector<double> acc(v.size());
   bool first = true;
   for (const auto& b : *blobs) {
     if (b.size() != v.size() * sizeof(double))
-      throw std::runtime_error("xmp: allreduce length mismatch");
+      throw std::runtime_error("xmp: allreduce length mismatch: a rank contributed " +
+                               std::to_string(b.size() / sizeof(double)) +
+                               " elements, this rank " + std::to_string(v.size()));
     const double* x = reinterpret_cast<const double*>(b.data());
     if (first) {
       std::copy(x, x + v.size(), acc.begin());
@@ -395,7 +466,8 @@ std::vector<double> Comm::allreduce(std::span<const double> v, Op op) const {
   return acc;
 }
 
-void run(int nranks, const std::function<void(Comm&)>& fn, TraceSink trace) {
+void run(int nranks, const std::function<void(Comm&)>& fn, TraceSink trace,
+         const CheckOptions& check) {
   if (nranks <= 0) throw std::invalid_argument("xmp: nranks must be positive");
   auto rs = std::make_shared<detail::RunState>();
   rs->world_size = nranks;
@@ -404,9 +476,31 @@ void run(int nranks, const std::function<void(Comm&)>& fn, TraceSink trace) {
     rs->trace = std::move(trace);
     rs->has_trace.store(true, std::memory_order_release);
   }
+  if (check.enabled) {
+#ifdef XMP_CHECKED
+    rs->checker = std::make_unique<detail::Checker>(rs.get(), check);
+#else
+    throw std::logic_error(
+        "xmp: checked mode requested but not compiled in (configure with -DXMP_CHECKED=ON)");
+#endif
+  }
   std::vector<int> wr(static_cast<std::size_t>(nranks));
   for (int i = 0; i < nranks; ++i) wr[static_cast<std::size_t>(i)] = i;
   auto world = detail::make_group(rs, std::move(wr));
+
+#ifdef XMP_CHECKED
+  // The checker retains every group (so the leftover sweep can reach
+  // mailboxes of dropped sub-comms), and groups own the RunState that owns
+  // the checker: break that deliberate cycle on every exit path, including
+  // the error rethrows below.
+  struct ReleaseGuard {
+    detail::RunState* rs;
+    ~ReleaseGuard() {
+      if (rs->checker) rs->checker->release_groups();
+    }
+  } release_guard{rs.get()};
+  if (rs->checker) rs->checker->start_watchdog();
+#endif
 
   std::exception_ptr first_error;
   std::mutex err_mu;
@@ -415,6 +509,9 @@ void run(int nranks, const std::function<void(Comm&)>& fn, TraceSink trace) {
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
+#ifdef XMP_CHECKED
+      if (rs->checker) rs->checker->bind_rank_thread(r);
+#endif
       Comm c(world, r);
       try {
         fn(c);
@@ -428,14 +525,38 @@ void run(int nranks, const std::function<void(Comm&)>& fn, TraceSink trace) {
     });
   }
   for (auto& t : threads) t.join();
+#ifdef XMP_CHECKED
+  if (rs->checker) rs->checker->stop_watchdog();
+#endif
   if (first_error) {
-    // Surface the root-cause failure, not the secondary AbortedErrors.
+    // Surface the root-cause failure, not the secondary AbortedErrors: when
+    // the checker triggered the abort, its diagnosis is the root cause.
+    bool secondary = false;
     try {
       std::rethrow_exception(first_error);
     } catch (const AbortedError&) {
+      secondary = true;
+    } catch (...) {
       throw;
     }
+    if (secondary) {
+      std::lock_guard lk(rs->check_err_mu);
+      if (rs->check_error) std::rethrow_exception(rs->check_error);
+    }
+    std::rethrow_exception(first_error);
   }
+  {
+    std::lock_guard lk(rs->check_err_mu);
+    if (rs->check_error) std::rethrow_exception(rs->check_error);
+  }
+#ifdef XMP_CHECKED
+  // Clean run: report messages nobody ever received (per LeftoverPolicy).
+  if (rs->checker) rs->checker->report_leftovers();
+#endif
+}
+
+void run(int nranks, const std::function<void(Comm&)>& fn, TraceSink trace) {
+  run(nranks, fn, std::move(trace), CheckOptions::from_env());
 }
 
 }  // namespace xmp

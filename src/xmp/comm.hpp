@@ -12,7 +12,9 @@
 //   * collectives: barrier, bcast, gather(v), scatter(v), allgather(v),
 //     reduce/allreduce,
 //   * a traffic trace hook so tests and the machine model can observe the
-//     exact message pattern an algorithm generates.
+//     exact message pattern an algorithm generates,
+//   * an optional checked mode (check.hpp) verifying collective matching,
+//     thread affinity, deadlock freedom and mailbox hygiene at run time.
 //
 // A failed rank (uncaught exception) aborts the whole run: every blocked
 // rank wakes and throws AbortedError, and xmp::run rethrows the original
@@ -31,6 +33,8 @@
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "xmp/check.hpp"
 
 namespace xmp {
 
@@ -70,6 +74,39 @@ using TraceSink = std::function<void(const TraceEvent&)>;
 
 enum class Op { Sum, Min, Max };
 
+/// Which collective operation a rank entered (checked-mode matching; also
+/// part of the collective primitive's signature so the verifier can name
+/// operations in diagnostics).
+enum class CollKind : std::uint8_t {
+  Raw,       ///< untyped collect_bytes_all
+  Barrier,
+  Bcast,
+  Gatherv,
+  Allgatherv,
+  Scatterv,
+  Allreduce,
+  Split,
+  SetTrace,
+};
+
+const char* to_string(CollKind k);
+
+/// Sentinel for "this rank does not declare a shape for this collective"
+/// (e.g. bcast non-roots learn the shape from the root).
+inline constexpr std::size_t kShapeUnknown = static_cast<std::size_t>(-1);
+
+/// Per-rank description of one collective call. Checked mode requires every
+/// rank of a communicator to enter with pairwise-compatible descriptors:
+/// kind, elem_size, root and extra must be equal, and all declared (non
+/// kShapeUnknown) shapes must agree.
+struct CollDesc {
+  CollKind kind = CollKind::Raw;
+  std::size_t elem_size = 0;
+  int root = -1;                     ///< -1 for rootless collectives
+  int extra = -1;                    ///< e.g. the reduce Op; -1 when unused
+  std::size_t shape = kShapeUnknown; ///< element count, where declared
+};
+
 namespace detail {
 struct Group;
 struct RunState;
@@ -77,7 +114,7 @@ struct RunState;
 
 /// Rank-local handle to a communicator. Cheap to copy; all copies refer to
 /// the same group. Thread-affine: a Comm must only be used by the rank
-/// (thread) it was created for.
+/// (thread) it was created for — checked builds enforce this.
 class Comm {
 public:
   Comm() = default;
@@ -113,8 +150,14 @@ public:
   template <class T>
   std::vector<T> recv(int src, int tag, int* out_src = nullptr) const {
     static_assert(std::is_trivially_copyable_v<T>);
-    auto raw = recv_bytes(src, tag, out_src);
-    if (raw.size() % sizeof(T) != 0) throw std::runtime_error("xmp: recv size mismatch");
+    int got_src = kAnySource, got_tag = kAnyTag;
+    auto raw = recv_bytes(src, tag, &got_src, &got_tag);
+    if (raw.size() % sizeof(T) != 0)
+      throw std::runtime_error(
+          "xmp: recv size mismatch: message from src " + std::to_string(got_src) + " tag " +
+          std::to_string(got_tag) + " is " + std::to_string(raw.size()) +
+          " bytes, not a multiple of element size " + std::to_string(sizeof(T)));
+    if (out_src) *out_src = got_src;
     std::vector<T> v(raw.size() / sizeof(T));
     std::memcpy(v.data(), raw.data(), raw.size());
     return v;
@@ -163,15 +206,26 @@ public:
   void trace_transfer(int src, int dst, std::size_t bytes, TraceKind kind) const;
 
   /// Implementation primitive for the templated collectives: every rank
-  /// contributes a byte blob and receives the full per-rank set. Public so
+  /// contributes a byte blob and receives the full per-rank set. `desc`
+  /// names the high-level operation for checked-mode matching. Public so
   /// the header templates below can use it; not intended as user API.
   std::shared_ptr<const std::vector<std::vector<std::uint8_t>>> collect_bytes_all(
-      const void* ptr, std::size_t bytes) const;
+      const void* ptr, std::size_t bytes, const CollDesc& desc) const;
+  std::shared_ptr<const std::vector<std::vector<std::uint8_t>>> collect_bytes_all(
+      const void* ptr, std::size_t bytes) const {
+    return collect_bytes_all(ptr, bytes, CollDesc{});
+  }
 
 private:
-  friend void run(int, const std::function<void(Comm&)>&, TraceSink);
+  friend void run(int, const std::function<void(Comm&)>&, TraceSink, const CheckOptions&);
   friend struct detail::Group;
   Comm(std::shared_ptr<detail::Group> g, int rank) : group_(std::move(g)), rank_(rank) {}
+
+  void require_root_in_range(int root, const char* what) const {
+    if (root < 0 || root >= size())
+      throw std::invalid_argument(std::string("xmp: ") + what + " root " + std::to_string(root) +
+                                  " out of range for comm of size " + std::to_string(size()));
+  }
 
   std::shared_ptr<detail::Group> group_;
   int rank_ = -1;
@@ -182,14 +236,20 @@ private:
 template <class T>
 void Comm::bcast(std::vector<T>& data, int root) const {
   static_assert(std::is_trivially_copyable_v<T>);
+  require_root_in_range(root, "bcast");
   const bool am_root = rank() == root;
   if (am_root)
     for (int r = 0; r < size(); ++r)
       if (r != root) trace_transfer(root, r, data.size() * sizeof(T), TraceKind::Bcast);
-  auto blobs = collect_bytes_all(am_root ? data.data() : nullptr,
-                                 am_root ? data.size() * sizeof(T) : 0);
+  auto blobs = collect_bytes_all(
+      am_root ? data.data() : nullptr, am_root ? data.size() * sizeof(T) : 0,
+      CollDesc{CollKind::Bcast, sizeof(T), root, -1, am_root ? data.size() : kShapeUnknown});
   const auto& src = (*blobs)[static_cast<std::size_t>(root)];
-  if (src.size() % sizeof(T) != 0) throw std::runtime_error("xmp: bcast size mismatch");
+  if (src.size() % sizeof(T) != 0)
+    throw std::runtime_error("xmp: bcast size mismatch: root " + std::to_string(root) +
+                             " provided " + std::to_string(src.size()) +
+                             " bytes, not a multiple of element size " +
+                             std::to_string(sizeof(T)));
   if (!am_root) {
     data.resize(src.size() / sizeof(T));
     if (!src.empty()) std::memcpy(data.data(), src.data(), src.size());
@@ -200,15 +260,23 @@ template <class T>
 std::vector<T> Comm::gatherv(std::span<const T> mine, int root,
                              std::vector<std::size_t>* counts) const {
   static_assert(std::is_trivially_copyable_v<T>);
+  require_root_in_range(root, "gatherv");
   if (rank() != root) trace_transfer(rank(), root, mine.size() * sizeof(T), TraceKind::Gather);
-  auto blobs = collect_bytes_all(mine.data(), mine.size() * sizeof(T));
+  auto blobs = collect_bytes_all(mine.data(), mine.size() * sizeof(T),
+                                 CollDesc{CollKind::Gatherv, sizeof(T), root, -1, kShapeUnknown});
   std::vector<T> out;
   if (rank() != root) {
     if (counts) counts->clear();
     return out;
   }
   if (counts) counts->clear();
-  for (const auto& b : *blobs) {
+  for (std::size_t r = 0; r < blobs->size(); ++r) {
+    const auto& b = (*blobs)[r];
+    if (b.size() % sizeof(T) != 0)
+      throw std::runtime_error("xmp: gatherv size mismatch: rank " + std::to_string(r) +
+                               " contributed " + std::to_string(b.size()) +
+                               " bytes, not a multiple of element size " +
+                               std::to_string(sizeof(T)));
     const std::size_t k = b.size() / sizeof(T);
     if (counts) counts->push_back(k);
     const std::size_t off = out.size();
@@ -224,10 +292,17 @@ std::vector<T> Comm::allgatherv(std::span<const T> mine,
   static_assert(std::is_trivially_copyable_v<T>);
   for (int r = 0; r < size(); ++r)
     if (r != rank()) trace_transfer(rank(), r, mine.size() * sizeof(T), TraceKind::Allgather);
-  auto blobs = collect_bytes_all(mine.data(), mine.size() * sizeof(T));
+  auto blobs = collect_bytes_all(mine.data(), mine.size() * sizeof(T),
+                                 CollDesc{CollKind::Allgatherv, sizeof(T), -1, -1, kShapeUnknown});
   std::vector<T> out;
   if (counts) counts->clear();
-  for (const auto& b : *blobs) {
+  for (std::size_t r = 0; r < blobs->size(); ++r) {
+    const auto& b = (*blobs)[r];
+    if (b.size() % sizeof(T) != 0)
+      throw std::runtime_error("xmp: allgatherv size mismatch: rank " + std::to_string(r) +
+                               " contributed " + std::to_string(b.size()) +
+                               " bytes, not a multiple of element size " +
+                               std::to_string(sizeof(T)));
     const std::size_t k = b.size() / sizeof(T);
     if (counts) counts->push_back(k);
     const std::size_t off = out.size();
@@ -240,17 +315,19 @@ std::vector<T> Comm::allgatherv(std::span<const T> mine,
 template <class T>
 std::vector<T> Comm::scatterv(const std::vector<std::vector<T>>& parts, int root) const {
   static_assert(std::is_trivially_copyable_v<T>);
+  require_root_in_range(root, "scatterv");
   // Root serialises [n, count_0..count_{n-1}, payload...] once; every rank
   // slices out its own part.
   std::vector<std::uint8_t> packed;
+  std::size_t total = 0;
   if (rank() == root) {
     if (parts.size() != static_cast<std::size_t>(size()))
-      throw std::invalid_argument("xmp: scatterv parts size != comm size");
+      throw std::invalid_argument("xmp: scatterv parts size " + std::to_string(parts.size()) +
+                                  " != comm size " + std::to_string(size()));
     for (int r = 0; r < size(); ++r)
       if (r != root)
         trace_transfer(root, r, parts[static_cast<std::size_t>(r)].size() * sizeof(T),
                        TraceKind::Scatter);
-    std::size_t total = 0;
     for (const auto& p : parts) total += p.size();
     packed.resize(sizeof(std::size_t) * (1 + parts.size()) + total * sizeof(T));
     std::uint8_t* w = packed.data();
@@ -267,15 +344,35 @@ std::vector<T> Comm::scatterv(const std::vector<std::vector<T>>& parts, int root
       w += p.size() * sizeof(T);
     }
   }
-  auto blobs = collect_bytes_all(packed.data(), packed.size());
+  auto blobs = collect_bytes_all(
+      packed.data(), packed.size(),
+      CollDesc{CollKind::Scatterv, sizeof(T), root, -1,
+               rank() == root ? total : kShapeUnknown});
   const auto& b = (*blobs)[static_cast<std::size_t>(root)];
+  // The packed header came from another rank: bounds-check every read before
+  // trusting it (a mismatched collective otherwise turns into wild reads).
+  const auto fail = [&](const std::string& what) {
+    throw std::runtime_error("xmp: scatterv " + what + " (comm size " + std::to_string(size()) +
+                             ", rank " + std::to_string(rank()) + ", root " +
+                             std::to_string(root) + ")");
+  };
+  if (b.size() < sizeof(std::size_t)) fail("packed header truncated before rank count");
   const std::uint8_t* r = b.data();
   std::size_t n;
   std::memcpy(&n, r, sizeof n);
   r += sizeof n;
+  if (n != static_cast<std::size_t>(size()))
+    fail("rank count mismatch: header declares " + std::to_string(n) + " parts");
+  if (b.size() < sizeof(std::size_t) * (1 + n)) fail("packed header truncated in counts array");
   std::vector<std::size_t> cnt(n);
   std::memcpy(cnt.data(), r, n * sizeof(std::size_t));
   r += n * sizeof(std::size_t);
+  std::size_t sum = 0;
+  for (std::size_t c : cnt) sum += c;
+  if (b.size() != sizeof(std::size_t) * (1 + n) + sum * sizeof(T))
+    fail("payload size mismatch: counts declare " + std::to_string(sum) + " elements of " +
+         std::to_string(sizeof(T)) + " bytes but payload is " +
+         std::to_string(b.size() - sizeof(std::size_t) * (1 + n)) + " bytes");
   std::size_t off = 0;
   for (int i = 0; i < rank(); ++i) off += cnt[static_cast<std::size_t>(i)];
   std::vector<T> out(cnt[static_cast<std::size_t>(rank())]);
@@ -288,6 +385,11 @@ std::vector<T> Comm::scatterv(const std::vector<std::vector<T>>& parts, int root
 /// A non-null `trace` sink is installed before any rank thread starts (the
 /// race-free way to observe a run's traffic from its first message) and
 /// stays installed for the whole run unless replaced via Comm::set_trace.
+/// The three-argument overload reads CheckOptions::from_env(), so exporting
+/// XMP_CHECK=1 turns checked mode on for every run in the process (in
+/// XMP_CHECKED builds; see check.hpp and docs/CHECKING.md).
+void run(int nranks, const std::function<void(Comm&)>& fn, TraceSink trace,
+         const CheckOptions& check);
 void run(int nranks, const std::function<void(Comm&)>& fn, TraceSink trace = nullptr);
 
 }  // namespace xmp

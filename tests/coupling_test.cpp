@@ -618,4 +618,59 @@ TEST(Cdc3d, FullyThreeDimensionalCoupling) {
   EXPECT_LT(mism, 1.2);  // DPD bulk tracks the imposed 3D field
 }
 
+// ---------------- negative paths ----------------
+
+TEST(MultiPatch, RejectsNonPositivePatchCount) {
+  coupling::MultiPatchParams mp;
+  mp.patches = 0;
+  EXPECT_THROW(coupling::MultiPatchChannel(mp, [](double, double) { return 0.0; }),
+               std::invalid_argument);
+}
+
+TEST(Cdc, RejectsDegenerateRegion) {
+  auto m = mesh::QuadMesh::channel(2.0, 1.0, 4, 2);
+  sem::Discretization d(m, 3);
+  sem::NavierStokes2D::Params nsp;
+  sem::NavierStokes2D ns(d, nsp);
+  dpd::DpdParams dp;
+  dpd::DpdSystem sys(dp, nullptr);
+  dpd::FlowBcParams fp;
+  dpd::FlowBc bc(fp);
+  coupling::ScaleMap scales;
+  coupling::TimeProgression tp;
+  coupling::EmbeddedRegion flat_x{1.0, 1.0, 0.0, 1.0};   // x1 == x0
+  coupling::EmbeddedRegion inverted_y{0.0, 1.0, 1.0, 0.5};  // y1 < y0
+  EXPECT_THROW(coupling::ContinuumDpdCoupler(ns, sys, bc, flat_x, scales, tp),
+               std::invalid_argument);
+  EXPECT_THROW(coupling::ContinuumDpdCoupler(ns, sys, bc, inverted_y, scales, tp),
+               std::invalid_argument);
+}
+
+TEST(Replica, DistributeVsGatherMismatchCaughtByCheckedMode) {
+  if (!xmp::checked_available()) GTEST_SKIP() << "built without XMP_CHECKED";
+  xmp::CheckOptions opts;
+  opts.enabled = true;
+  try {
+    xmp::run(
+        2,
+        [](xmp::Comm& world) {
+          coupling::ReplicaEnsemble ens(world, 2);  // one rank per replica, both roots
+          std::vector<double> v(4, 1.0);
+          // Protocol error: the master replica fans data out while the other
+          // replica tries to collect an average — the roots communicator sees
+          // a bcast on one rank and a gatherv on the other.
+          if (ens.replica_id() == 0)
+            (void)ens.distribute(std::move(v));
+          else
+            (void)ens.gather_average(v);
+        },
+        nullptr, opts);
+    FAIL() << "expected xmp::CheckError";
+  } catch (const xmp::CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("collective mismatch"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("offender"), std::string::npos) << msg;
+  }
+}
+
 }  // namespace

@@ -14,7 +14,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "coupling/mci.hpp"
@@ -170,6 +172,68 @@ TEST(MciIntegration, ReplicatedAtomisticTaskFeedsContinuumRoot) {
       EXPECT_DOUBLE_EQ(got[0], 10.0);
     }
   });
+}
+
+TEST(MciIntegration, BothSidesRecvIsCaughtAsDeadlockInCheckedMode) {
+  if (!xmp::checked_available()) GTEST_SKIP() << "built without XMP_CHECKED";
+  xmp::CheckOptions opts;
+  opts.enabled = true;
+  opts.poll_interval = std::chrono::milliseconds(5);
+  try {
+    xmp::run(
+        2,
+        [](xmp::Comm& world) {
+          coupling::MciConfig cfg;
+          cfg.rack_of = {0, 0};
+          cfg.task_of = {0, 1};
+          auto mci = coupling::build_mci(world, cfg);
+          xmp::Comm l4 = coupling::derive_l4(mci.l3, true);
+          const int peer_root = mci.task == 0 ? 1 : 0;
+          coupling::InterfaceChannel chan(world, l4, peer_root, 1, {0}, 9);
+          // Protocol error: BOTH sides enter the receive half of the 3-step
+          // exchange first, so each L4 root blocks on the other's message.
+          (void)chan.recv();
+        },
+        nullptr, opts);
+    FAIL() << "expected xmp::CheckError";
+  } catch (const xmp::CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("deadlock detected"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("recv"), std::string::npos) << msg;
+  }
+}
+
+TEST(MciIntegration, ThreeStepExchangeRunsCleanUnderCheckedMode) {
+  if (!xmp::checked_available()) GTEST_SKIP() << "built without XMP_CHECKED";
+  // Positive control: the correct 3-step protocol (one side sends first, the
+  // other receives first) must produce no checked-mode diagnostic.
+  xmp::CheckOptions opts;
+  opts.enabled = true;
+  opts.poll_interval = std::chrono::milliseconds(5);
+  xmp::run(
+      6,
+      [](xmp::Comm& world) {
+        coupling::MciConfig cfg;
+        cfg.rack_of.assign(6, 0);
+        cfg.task_of = {0, 0, 0, 1, 1, 1};
+        auto mci = coupling::build_mci(world, cfg);
+        xmp::Comm l4 = coupling::derive_l4(mci.l3, true);
+        const int peer_root = mci.task == 0 ? 3 : 0;
+        std::vector<std::size_t> mine = {static_cast<std::size_t>(l4.rank())};
+        coupling::InterfaceChannel ch(world, l4, peer_root, 3, mine, 11);
+        for (int i = 0; i < 5; ++i) {
+          if (mci.task == 0) {
+            ch.send({1.0 + i});
+            const auto got = ch.recv();
+            ASSERT_EQ(got.size(), 1u);
+            EXPECT_DOUBLE_EQ(got[0], 2.0 + i);
+          } else {
+            const auto got = ch.recv();
+            ch.send({got[0] + 1.0});
+          }
+        }
+      },
+      nullptr, opts);
 }
 
 }  // namespace

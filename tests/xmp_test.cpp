@@ -311,4 +311,216 @@ TEST(Xmp, LargePayloadIntegrity) {
   });
 }
 
+// ---- failure paths ----------------------------------------------------------
+//
+// When one rank throws, every rank parked inside a collective must wake with
+// AbortedError (not hang, not return garbage) and xmp::run must rethrow the
+// original failure. Exercise that for every collective entry point.
+
+void expect_abort_wakes_collective(const std::function<void(xmp::Comm&)>& blocked_op) {
+  constexpr int n = 4;
+  std::atomic<int> aborted_count{0};
+  EXPECT_THROW(
+      xmp::run(n,
+               [&](xmp::Comm& world) {
+                 if (world.rank() == n - 1) throw std::runtime_error("boom");
+                 try {
+                   blocked_op(world);
+                 } catch (const xmp::AbortedError&) {
+                   aborted_count.fetch_add(1);
+                   throw;
+                 }
+               }),
+      std::runtime_error);
+  EXPECT_EQ(aborted_count.load(), n - 1);
+}
+
+TEST(XmpAbort, WakesBarrier) {
+  expect_abort_wakes_collective([](xmp::Comm& w) { w.barrier(); });
+}
+
+TEST(XmpAbort, WakesBcast) {
+  expect_abort_wakes_collective([](xmp::Comm& w) {
+    std::vector<double> d(3, 1.0);
+    w.bcast(d, 0);
+  });
+}
+
+TEST(XmpAbort, WakesGatherv) {
+  expect_abort_wakes_collective([](xmp::Comm& w) {
+    std::vector<int> mine{w.rank()};
+    (void)w.gatherv(std::span<const int>(mine), 0);
+  });
+}
+
+TEST(XmpAbort, WakesAllgatherv) {
+  expect_abort_wakes_collective([](xmp::Comm& w) {
+    std::vector<int> mine{w.rank()};
+    (void)w.allgatherv(std::span<const int>(mine));
+  });
+}
+
+TEST(XmpAbort, WakesScatterv) {
+  expect_abort_wakes_collective([](xmp::Comm& w) {
+    std::vector<std::vector<int>> parts;
+    if (w.rank() == 0) parts.assign(static_cast<std::size_t>(w.size()), {1, 2});
+    (void)w.scatterv(parts, 0);
+  });
+}
+
+TEST(XmpAbort, WakesAllreduceScalar) {
+  expect_abort_wakes_collective([](xmp::Comm& w) { (void)w.allreduce(1.0, xmp::Op::Sum); });
+}
+
+TEST(XmpAbort, WakesAllreduceVector) {
+  expect_abort_wakes_collective([](xmp::Comm& w) {
+    std::vector<double> v(2, 1.0);
+    (void)w.allreduce(std::span<const double>(v), xmp::Op::Max);
+  });
+}
+
+TEST(XmpAbort, WakesSplit) {
+  expect_abort_wakes_collective([](xmp::Comm& w) { (void)w.split(0, w.rank()); });
+}
+
+TEST(XmpAbort, WakesRecv) {
+  expect_abort_wakes_collective([](xmp::Comm& w) { (void)w.recv<double>(w.rank(), 0); });
+}
+
+// ---- error diagnostics ------------------------------------------------------
+
+TEST(XmpErrors, RecvSizeMismatchNamesSrcTagAndBytes) {
+  xmp::run(2, [](xmp::Comm& world) {
+    if (world.rank() == 0) {
+      world.send(1, 5, std::vector<std::uint8_t>(10, 0));  // 10 bytes, not /8
+    } else {
+      try {
+        (void)world.recv<double>(0, 5);
+        ADD_FAILURE() << "expected size-mismatch throw";
+      } catch (const std::runtime_error& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("src 0"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("tag 5"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("10 bytes"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("element size 8"), std::string::npos) << msg;
+      }
+    }
+  });
+}
+
+TEST(XmpErrors, SendDstOutOfRangeNamesCommSize) {
+  xmp::run(2, [](xmp::Comm& world) {
+    try {
+      world.send(5, 0, std::vector<int>{1});
+      ADD_FAILURE() << "expected out_of_range";
+    } catch (const std::out_of_range& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("dst 5"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("comm of size 2"), std::string::npos) << msg;
+    }
+    world.barrier();
+  });
+}
+
+TEST(XmpErrors, RecvSrcOutOfRangeNamesCommSizeAndTag) {
+  xmp::run(2, [](xmp::Comm& world) {
+    try {
+      (void)world.recv<int>(7, 3);
+      ADD_FAILURE() << "expected out_of_range";
+    } catch (const std::out_of_range& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("src 7"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("comm of size 2"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("tag 3"), std::string::npos) << msg;
+    }
+    world.barrier();
+  });
+}
+
+TEST(XmpErrors, BcastRootOutOfRangeThrows) {
+  xmp::run(2, [](xmp::Comm& world) {
+    std::vector<double> d{1.0};
+    EXPECT_THROW(world.bcast(d, 2), std::invalid_argument);
+    EXPECT_THROW(world.bcast(d, -1), std::invalid_argument);
+    world.barrier();
+  });
+}
+
+TEST(XmpErrors, GathervRootOutOfRangeThrows) {
+  xmp::run(2, [](xmp::Comm& world) {
+    std::vector<int> mine{1};
+    EXPECT_THROW((void)world.gatherv(std::span<const int>(mine), 9), std::invalid_argument);
+    world.barrier();
+  });
+}
+
+TEST(XmpErrors, ScattervRootOutOfRangeThrows) {
+  xmp::run(2, [](xmp::Comm& world) {
+    std::vector<std::vector<int>> parts(2);
+    EXPECT_THROW((void)world.scatterv(parts, 2), std::invalid_argument);
+    world.barrier();
+  });
+}
+
+TEST(XmpErrors, ScattervPartsCountMismatchThrows) {
+  xmp::run(2, [](xmp::Comm& world) {
+    if (world.rank() == 0) {
+      std::vector<std::vector<int>> parts(3);  // comm has 2 ranks
+      EXPECT_THROW((void)world.scatterv(parts, 0), std::invalid_argument);
+    }
+    world.barrier();
+  });
+}
+
+TEST(XmpErrors, GathervNonMultipleContributionThrows) {
+  // A 4-byte int contribution cannot be reinterpreted as doubles on the
+  // root: gatherv must throw (not silently truncate) and name the rank.
+  EXPECT_THROW(
+      xmp::run(2,
+               [](xmp::Comm& world) {
+                 if (world.rank() == 0) {
+                   std::vector<double> mine{1.0};
+                   (void)world.gatherv(std::span<const double>(mine), 0);
+                 } else {
+                   // Same collective slot, different element type: rank 1's
+                   // 4-byte blob is not divisible by sizeof(double).
+                   std::vector<float> mine{1.0f};
+                   (void)world.gatherv(std::span<const float>(mine), 0);
+                 }
+               }),
+      std::runtime_error);
+}
+
+TEST(XmpErrors, AllgathervNonMultipleContributionThrows) {
+  EXPECT_THROW(
+      xmp::run(2,
+               [](xmp::Comm& world) {
+                 if (world.rank() == 0) {
+                   std::vector<double> mine{1.0};
+                   (void)world.allgatherv(std::span<const double>(mine));
+                 } else {
+                   std::vector<float> mine{1.0f, 2.0f, 3.0f};
+                   (void)world.allgatherv(std::span<const float>(mine));
+                 }
+               }),
+      std::runtime_error);
+}
+
+TEST(XmpErrors, ScattervCorruptHeaderCaughtByBoundsCheck) {
+  // Root scatters float parts while a peer decodes doubles: the peer's
+  // payload-size validation must fire instead of reading out of bounds.
+  EXPECT_THROW(
+      xmp::run(2,
+               [](xmp::Comm& world) {
+                 if (world.rank() == 0) {
+                   std::vector<std::vector<float>> parts{{1.0f}, {2.0f}};
+                   (void)world.scatterv(parts, 0);
+                 } else {
+                   std::vector<std::vector<double>> parts;
+                   (void)world.scatterv(parts, 0);
+                 }
+               }),
+      std::runtime_error);
+}
+
 }  // namespace

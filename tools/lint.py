@@ -1,0 +1,268 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules (stdlib only; CI runs this as a hard gate).
+
+Rules
+-----
+memcpy-divisibility
+    A memcpy whose byte-count expression does not mention sizeof is copying
+    into/out of a typed buffer with a count computed elsewhere; it must be
+    preceded (within 12 lines) by a `% sizeof` divisibility check, or carry a
+    `// lint: memcpy-ok (<reason>)` marker on the call or just above it.
+    This is the bug class behind gatherv/recv silently truncating odd-sized
+    payloads.
+
+collective-trace
+    In src/xmp, every call into the byte-collecting collective primitives
+    (collect_bytes_all / collect_bytes) must either be preceded (within 25
+    lines) by trace attribution (trace_transfer / trace_allreduce /
+    emit_trace) or carry a `// lint: no-trace (<reason>)` marker: new
+    collectives must report their logical transfers to the trace hook the
+    machine model replays.
+
+pragma-once
+    Every header under src/ starts with `#pragma once`.
+
+no-using-namespace
+    No `using namespace std` (headers or sources).
+
+Usage:  python3 tools/lint.py [--self-test] [paths...]
+Exit status is non-zero iff findings (or a self-test failure).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+MEMCPY_BACKWINDOW = 12
+TRACE_BACKWINDOW = 25
+MARKER_BACKWINDOW = 2
+
+MEMCPY_RE = re.compile(r"\bmemcpy\s*\(")
+COLLECT_RE = re.compile(r"\b(collect_bytes_all|collect_bytes)\s*\(")
+TRACE_RE = re.compile(r"\b(trace_transfer|trace_allreduce|emit_trace)\b")
+DIVCHECK_RE = re.compile(r"%\s*sizeof")
+MEMCPY_OK_RE = re.compile(r"//\s*lint:\s*memcpy-ok")
+NO_TRACE_RE = re.compile(r"//\s*lint:\s*no-trace")
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+def balanced_call_text(lines: list[str], line_idx: int, open_pos: int) -> str:
+    """Text of a call from its opening paren to the matching close (spans lines)."""
+    depth = 0
+    out: list[str] = []
+    i, j = line_idx, open_pos
+    while i < len(lines):
+        line = lines[i]
+        while j < len(line):
+            c = line[j]
+            out.append(c)
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    return "".join(out)
+            j += 1
+        out.append(" ")
+        i, j = i + 1, 0
+    return "".join(out)  # unbalanced: return what we saw
+
+
+def marker_near(lines: list[str], idx: int, marker: re.Pattern, back: int) -> bool:
+    lo = max(0, idx - back)
+    return any(marker.search(lines[k]) for k in range(lo, idx + 1))
+
+
+def is_declaration(line: str, name_start: int) -> bool:
+    """True when `name(` at name_start is a function declaration/definition,
+    i.e. directly preceded by a type (identifier, `>`, `&`, `*`) rather than
+    an operator or statement keyword."""
+    before = line[:name_start].rstrip()
+    if not before:
+        return False
+    # Strip a `Comm::`/`ns::detail::` qualifier chain: `Type Comm::name(` is an
+    # out-of-line definition (return type precedes the qualifier) while
+    # `x = ns::name(...)` is a qualified call.
+    m = re.search(r"(?:\w+\s*::\s*)+$", before)
+    if m:
+        before = before[:m.start()].rstrip()
+        if not before:
+            return False
+    if re.search(r"\b(return|co_return|co_yield|throw)$", before):
+        return False
+    return before[-1].isalnum() or before[-1] in ">&*_,"
+
+
+def lint_file(path: pathlib.Path, repo_root: pathlib.Path) -> list[Finding]:
+    rel = str(path.relative_to(repo_root))
+    text = path.read_text(encoding="utf-8", errors="replace")
+    lines = text.splitlines()
+    findings: list[Finding] = []
+
+    in_src = rel.startswith("src/")
+    in_xmp = rel.startswith("src/xmp/")
+
+    if in_src and path.suffix == ".hpp":
+        head = [l.strip() for l in lines[:5]]
+        if "#pragma once" not in head:
+            findings.append(Finding(rel, 1, "pragma-once",
+                                    "header does not start with #pragma once"))
+
+    for i, line in enumerate(lines):
+        if re.search(r"\busing\s+namespace\s+std\b", line):
+            findings.append(Finding(rel, i + 1, "no-using-namespace",
+                                    "do not import namespace std wholesale"))
+
+        if in_src:
+            for m in MEMCPY_RE.finditer(line):
+                call = balanced_call_text(lines, i, m.end() - 1)
+                if "sizeof" in call:
+                    continue  # count is sizeof-derived: divisibility is structural
+                if marker_near(lines, i, MEMCPY_OK_RE, MARKER_BACKWINDOW):
+                    continue
+                lo = max(0, i - MEMCPY_BACKWINDOW)
+                if any(DIVCHECK_RE.search(lines[k]) for k in range(lo, i)):
+                    continue
+                findings.append(Finding(
+                    rel, i + 1, "memcpy-divisibility",
+                    "memcpy with a non-sizeof byte count needs a preceding `% sizeof` "
+                    "divisibility check or a `// lint: memcpy-ok (<reason>)` marker"))
+
+        if in_xmp:
+            for m in COLLECT_RE.finditer(line):
+                if is_declaration(line, m.start()):
+                    continue
+                if marker_near(lines, i, NO_TRACE_RE, 3):
+                    continue
+                lo = max(0, i - TRACE_BACKWINDOW)
+                if any(TRACE_RE.search(lines[k]) for k in range(lo, i + 1)):
+                    continue
+                findings.append(Finding(
+                    rel, i + 1, "collective-trace",
+                    f"{m.group(1)} call without nearby trace attribution "
+                    "(trace_transfer/trace_allreduce) or a `// lint: no-trace "
+                    "(<reason>)` marker: collectives must report their logical "
+                    "transfers"))
+
+    return findings
+
+
+def collect_targets(paths: list[str], repo_root: pathlib.Path) -> list[pathlib.Path]:
+    exts = {".hpp", ".cpp"}
+    roots = [repo_root / p for p in paths] if paths else [
+        repo_root / "src", repo_root / "tests", repo_root / "bench", repo_root / "examples"]
+    out: list[pathlib.Path] = []
+    for r in roots:
+        if r.is_file():
+            out.append(r)
+        elif r.is_dir():
+            out.extend(p for p in sorted(r.rglob("*")) if p.suffix in exts)
+    return out
+
+
+# ---- self test --------------------------------------------------------------
+
+SELF_TEST_CASES = [
+    # (pseudo-path, source, expected rule ids)
+    ("src/xmp/bad.hpp",
+     "int f();\n",
+     {"pragma-once"}),
+    ("src/xmp/good.hpp",
+     "#pragma once\nint f();\n",
+     set()),
+    ("src/a/bad_memcpy.cpp",
+     "void f(char* d, const char* s, unsigned n) {\n  std::memcpy(d, s, n);\n}\n",
+     {"memcpy-divisibility"}),
+    ("src/a/ok_memcpy_sizeof.cpp",
+     "void f(double* d, const char* s, unsigned n) {\n"
+     "  std::memcpy(d, s,\n              n * sizeof(double));\n}\n",
+     set()),
+    ("src/a/ok_memcpy_checked.cpp",
+     "void f(double* d, const std::vector<char>& s) {\n"
+     "  if (s.size() % sizeof(double)) throw 1;\n  std::memcpy(d, s.data(), s.size());\n}\n",
+     set()),
+    ("src/a/ok_memcpy_marker.cpp",
+     "void f(char* d, const char* s, unsigned n) {\n"
+     "  // lint: memcpy-ok (raw bytes)\n  std::memcpy(d, s, n);\n}\n",
+     set()),
+    ("src/xmp/bad_collective.cpp",
+     "void f(xmp::Comm& c) {\n  auto b = c.collect_bytes_all(nullptr, 0);\n}\n",
+     {"collective-trace"}),
+    ("src/xmp/ok_collective_traced.cpp",
+     "void f(xmp::Comm& c) {\n  c.trace_transfer(0, 1, 8, xmp::TraceKind::Bcast);\n"
+     "  auto b = c.collect_bytes_all(nullptr, 0);\n}\n",
+     set()),
+    ("src/xmp/ok_collective_marker.cpp",
+     "void f(xmp::Comm& c) {\n  // lint: no-trace (no payload)\n"
+     "  auto b = c.collect_bytes_all(nullptr, 0);\n}\n",
+     set()),
+    ("src/xmp/ok_collective_decl.cpp",
+     "std::shared_ptr<Blobs> collect_bytes(const void* p, std::size_t n);\n",
+     set()),
+    ("src/xmp/ok_collective_defn.cpp",
+     "std::shared_ptr<Blobs> Comm::collect_bytes_all(const void* p, std::size_t n) {\n"
+     "  return nullptr;\n}\n",
+     set()),
+    ("src/xmp/bad_collective_qualified_call.cpp",
+     "void f() {\n  auto b = detail::collect_bytes(g, 0, nullptr, 0, d);\n}\n",
+     {"collective-trace"}),
+    ("tests/bad_using.cpp",
+     "using namespace std;\n",
+     {"no-using-namespace"}),
+]
+
+
+def self_test() -> int:
+    import tempfile
+
+    failures = 0
+    with tempfile.TemporaryDirectory() as td:
+        root = pathlib.Path(td)
+        for rel, src, expected in SELF_TEST_CASES:
+            p = root / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(src, encoding="utf-8")
+            got = {f.rule for f in lint_file(p, root)}
+            if got != expected:
+                print(f"self-test FAIL: {rel}: expected {sorted(expected)}, got {sorted(got)}")
+                failures += 1
+    if failures:
+        return 1
+    print(f"self-test OK ({len(SELF_TEST_CASES)} cases)")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*", help="files or directories (default: src tests bench examples)")
+    ap.add_argument("--self-test", action="store_true", help="run the linter's own test cases")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    findings: list[Finding] = []
+    for path in collect_targets(args.paths, repo_root):
+        findings.extend(lint_file(path, repo_root))
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint: {len(findings)} finding(s)")
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,149 @@
+// DPD pair-iteration throughput: Verlet neighbor list vs the legacy
+// per-call cell walk (which also pays a std::function indirect call per
+// pair, replicating the pre-fast-path dispatch). Prints pairs/sec for both
+// and DPD_PAIRS_SPEEDUP for CI to grep, then measures rebuilds/step across
+// skin radii on a live (stepped) system. Writes BENCH_dpd_pairs.json.
+// Exits non-zero when the speedup falls below the gate (override with
+// NEKTARG_DPD_PAIRS_MIN_SPEEDUP; timing smoke, default is a loose 1.0).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+
+#include "dpd/system.hpp"
+#include "telemetry/bench_report.hpp"
+
+namespace {
+
+constexpr double kBoxLen = 12.0;
+constexpr double kDensity = 3.0;
+constexpr int kWarmupSteps = 50;
+constexpr int kTraversals = 25;
+constexpr int kRepeats = 5;
+constexpr int kLiveSteps = 200;
+
+dpd::DpdSystem make_system(double skin) {
+  dpd::DpdParams prm;
+  prm.box = {kBoxLen, kBoxLen, kBoxLen};
+  prm.periodic = {true, true, true};
+  prm.skin = skin;
+  dpd::DpdSystem sys(prm, std::make_shared<dpd::NoWalls>());
+  sys.fill(kDensity, dpd::kSolvent);
+  for (int s = 0; s < kWarmupSteps; ++s) sys.step();
+  return sys;
+}
+
+struct Throughput {
+  double pairs_per_sec = 0.0;
+  double best_ms = 0.0;
+  std::size_t pairs = 0;
+};
+
+/// Best-of-kRepeats time for kTraversals pair sweeps with `sweep()`.
+template <class Sweep>
+Throughput time_sweeps(Sweep&& sweep) {
+  Throughput out;
+  double checksum = 0.0;
+  for (int r = 0; r < kRepeats; ++r) {
+    std::size_t pairs = 0;
+    double acc = 0.0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int t = 0; t < kTraversals; ++t) sweep(pairs, acc);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (r == 0 || ms < out.best_ms) out.best_ms = ms;
+    out.pairs = pairs / kTraversals;
+    checksum += acc;
+  }
+  if (!(checksum == checksum)) std::abort();  // keep the work observable
+  out.pairs_per_sec =
+      static_cast<double>(out.pairs) * kTraversals / (out.best_ms * 1e-3);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== DPD pair iteration: Verlet list vs legacy cell walk ===\n");
+
+  auto sys = make_system(0.3);
+  const std::size_t n = sys.size();
+  std::printf("n=%zu box=%.0f^3 rc=%.1f density=%.1f\n", n, kBoxLen, sys.params().rc, kDensity);
+
+  // Legacy baseline: rebuild the rc-sized cell grid every sweep and pay an
+  // indirect call per pair, as the pre-Verlet for_each_pair did.
+  const auto legacy = time_sweeps([&](std::size_t& pairs, double& acc) {
+    std::function<void(std::size_t, std::size_t, const dpd::Vec3&, double)> visit =
+        [&](std::size_t, std::size_t, const dpd::Vec3&, double r) {
+          ++pairs;
+          acc += r;
+        };
+    sys.for_each_pair_cellwalk(visit);
+  });
+
+  // Fast path: Verlet list (reused while the skin holds) + inlined kernel.
+  const auto verlet = time_sweeps([&](std::size_t& pairs, double& acc) {
+    sys.for_each_pair([&](std::size_t, std::size_t, const dpd::Vec3&, double r) {
+      ++pairs;
+      acc += r;
+    });
+  });
+
+  const double speedup = verlet.pairs_per_sec / legacy.pairs_per_sec;
+  std::printf("cellwalk: %10.3e pairs/s  (%.2f ms / %d sweeps, %zu pairs)\n",
+              legacy.pairs_per_sec, legacy.best_ms, kTraversals, legacy.pairs);
+  std::printf("verlet:   %10.3e pairs/s  (%.2f ms / %d sweeps, %zu pairs)\n",
+              verlet.pairs_per_sec, verlet.best_ms, kTraversals, verlet.pairs);
+  std::printf("DPD_PAIRS_SPEEDUP=%.2f\n", speedup);
+
+  telemetry::BenchReport rep("dpd_pairs");
+  rep.meta("n", static_cast<double>(n));
+  rep.meta("box", kBoxLen);
+  rep.meta("rc", sys.params().rc);
+  rep.meta("density", kDensity);
+  rep.meta("traversals", static_cast<double>(kTraversals));
+  rep.row();
+  rep.set("variant", std::string("cellwalk"));
+  rep.set("pairs_per_sec", legacy.pairs_per_sec);
+  rep.set("best_ms", legacy.best_ms);
+  rep.row();
+  rep.set("variant", std::string("verlet"));
+  rep.set("pairs_per_sec", verlet.pairs_per_sec);
+  rep.set("best_ms", verlet.best_ms);
+  rep.set("speedup", speedup);
+
+  // Rebuild frequency on a live run: fresh system per skin, kLiveSteps of
+  // real dynamics, rebuilds/reuses read off the neighbor-list counters.
+  std::printf("\nskin   rebuilds/step  reuse-frac  pairs-in-list\n");
+  for (double skin : {0.15, 0.3, 0.6}) {
+    auto live = make_system(skin);
+    const auto& nl = live.neighbor_list();
+    const std::size_t rb0 = nl.rebuilds(), ru0 = nl.reuses();
+    for (int s = 0; s < kLiveSteps; ++s) live.step();
+    const double rebuilds = static_cast<double>(nl.rebuilds() - rb0);
+    const double reuses = static_cast<double>(nl.reuses() - ru0);
+    const double per_step = rebuilds / kLiveSteps;
+    const double reuse_frac = reuses / (rebuilds + reuses);
+    std::printf("%.2f   %12.3f  %10.3f  %13zu\n", skin, per_step, reuse_frac, nl.pair_count());
+    rep.row();
+    rep.set("variant", std::string("live"));
+    rep.set("skin", skin);
+    rep.set("steps", static_cast<double>(kLiveSteps));
+    rep.set("rebuilds_per_step", per_step);
+    rep.set("reuse_frac", reuse_frac);
+    rep.set("list_pairs", static_cast<double>(nl.pair_count()));
+  }
+  rep.write();
+
+  double min_speedup = 1.0;
+  if (const char* v = std::getenv("NEKTARG_DPD_PAIRS_MIN_SPEEDUP")) min_speedup = std::atof(v);
+  std::printf("\nDPD_PAIRS_MIN_SPEEDUP=%.2f\n", min_speedup);
+  if (speedup < min_speedup) {
+    std::printf("FAIL: Verlet speedup below threshold\n");
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}

@@ -60,6 +60,20 @@ void BM_dot_xyz_simd(benchmark::State& state) {
     benchmark::DoNotOptimize(a);
   }
 }
+void BM_scale_scalar(benchmark::State& state) {
+  auto x = make_vec(1);
+  for (auto _ : state) {
+    la::simd::scale_scalar(1.0000001, x.data(), kN);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+void BM_scale_simd(benchmark::State& state) {
+  auto x = make_vec(1);
+  for (auto _ : state) {
+    la::simd::scale(1.0000001, x.data(), kN);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
 void BM_dot_xyy_scalar(benchmark::State& state) {
   auto x = make_vec(1), y = make_vec(2);
   for (auto _ : state) {
@@ -79,6 +93,8 @@ BENCHMARK(BM_vmul_scalar);
 BENCHMARK(BM_vmul_simd);
 BENCHMARK(BM_dot_xyz_scalar);
 BENCHMARK(BM_dot_xyz_simd);
+BENCHMARK(BM_scale_scalar);
+BENCHMARK(BM_scale_simd);
 BENCHMARK(BM_dot_xyy_scalar);
 BENCHMARK(BM_dot_xyy_simd);
 
@@ -111,12 +127,15 @@ void print_table1() {
   const double t_xyy_s =
       time_of([&] { sink = la::simd::dot_xyy_scalar(x.data(), y.data(), kN); });
   const double t_xyy_v = time_of([&] { sink = la::simd::dot_xyy(x.data(), y.data(), kN); });
+  const double t_scale_s = time_of([&] { la::simd::scale_scalar(1.0000001, out.data(), kN); });
+  const double t_scale_v = time_of([&] { la::simd::scale(1.0000001, out.data(), kN); });
   (void)sink;
 
   const char* isa = la::simd::detect() == la::simd::Isa::Avx2 ? "AVX2+FMA" : "scalar fallback";
   const double su_vmul = t_vmul_s / t_vmul_v;
   const double su_xyz = t_xyz_s / t_xyz_v;
   const double su_xyy = t_xyy_s / t_xyy_v;
+  const double su_scale = t_scale_s / t_scale_v;
 
   std::printf("\n=== Table 1: SIMD performance tuning speed-up factor ===\n");
   std::printf("(paper: Cray XT5 2.00/2.53/4.00, BG/P 3.40/1.60/2.25; here: host AVX2 vs scalar)\n");
@@ -124,6 +143,7 @@ void print_table1() {
   std::printf("%-28s %12.2f\n", "z[i] = x[i]*y[i]", su_vmul);
   std::printf("%-28s %12.2f\n", "a = sum x[i]*y[i]*z[i]", su_xyz);
   std::printf("%-28s %12.2f\n", "a = sum x[i]*y[i]*y[i]", su_xyy);
+  std::printf("%-28s %12.2f\n", "x[i] = s*x[i]", su_scale);
   std::printf("ISA dispatched: %s\n\n", isa);
 
   telemetry::BenchReport rep("table1_simd");
@@ -134,7 +154,8 @@ void print_table1() {
     double scalar_s, simd_s, speedup;
   } rows[] = {{"vmul", t_vmul_s, t_vmul_v, su_vmul},
               {"dot_xyz", t_xyz_s, t_xyz_v, su_xyz},
-              {"dot_xyy", t_xyy_s, t_xyy_v, su_xyy}};
+              {"dot_xyy", t_xyy_s, t_xyy_v, su_xyy},
+              {"scale", t_scale_s, t_scale_v, su_scale}};
   for (const auto& r : rows) {
     rep.row();
     rep.set("kernel", std::string(r.kernel));

@@ -2,6 +2,7 @@
 
 #include "resilience/blob.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -13,9 +14,15 @@ PlateletModel::PlateletModel(PlateletParams p) : prm_(std::move(p)) {
 }
 
 void PlateletModel::add_platelet(std::size_t particle_index) {
+  index_of_[particle_index] = particles_.size();
   particles_.push_back(particle_index);
   state_.push_back(PlateletState::Passive);
   trigger_time_.push_back(-1.0);
+}
+
+void PlateletModel::rebuild_index() {
+  index_of_.clear();
+  for (std::size_t k = 0; k < particles_.size(); ++k) index_of_[particles_[k]] = k;
 }
 
 void PlateletModel::seed_platelets(DpdSystem& sys, std::size_t count, unsigned seed) {
@@ -39,25 +46,37 @@ void PlateletModel::add_forces(DpdSystem& sys) {
   auto& frc = sys.forces();
   const std::size_t np = particles_.size();
 
-  // platelet-platelet adhesion (Active/Bound only); O(np^2) is fine at the
-  // platelet counts used here (they are ~0.1% of particles, as in blood)
+  // platelet-platelet adhesion (Active/Bound only): candidates come from
+  // the engine's cell grid instead of an all-platelet rescan. Each pair is
+  // discovered once (from its lower particle index) and the collected set
+  // is applied in sorted order so the force accumulation stays
+  // deterministic regardless of grid layout (bitwise restarts).
+  sys.ensure_neighbors();
+  adhesive_pairs_.clear();
   for (std::size_t a = 0; a < np; ++a) {
     if (state_[a] != PlateletState::Active && state_[a] != PlateletState::Bound) continue;
-    for (std::size_t b = a + 1; b < np; ++b) {
-      if (state_[b] != PlateletState::Active && state_[b] != PlateletState::Bound) continue;
-      const std::size_t i = particles_[a], j = particles_[b];
-      const Vec3 dr = sys.min_image(pos[i], pos[j]);
-      const double r = dr.norm();
-      if (r > prm_.adhesion_cutoff || r < 1e-9) continue;
-      // Morse force magnitude (positive = attraction towards r0)
-      const double e = std::exp(-prm_.morse_beta * (r - prm_.morse_r0));
-      const double f = 2.0 * prm_.morse_D * prm_.morse_beta * (e * e - e);
-      // f > 0 for r < r0 (repulsion), f < 0 for r > r0 (attraction):
-      // force on i along -er scaled by f
-      const Vec3 er = dr * (1.0 / r);
-      frc[i] -= er * f;
-      frc[j] += er * f;
-    }
+    const std::size_t i = particles_[a];
+    sys.query_neighbors(pos[i], prm_.adhesion_cutoff, [&](std::size_t j, const Vec3&, double) {
+      if (j <= i) return;
+      const std::size_t b = platelet_of(j);
+      if (b == static_cast<std::size_t>(-1)) return;
+      if (state_[b] != PlateletState::Active && state_[b] != PlateletState::Bound) return;
+      adhesive_pairs_.emplace_back(i, j);
+    });
+  }
+  std::sort(adhesive_pairs_.begin(), adhesive_pairs_.end());
+  for (const auto& [i, j] : adhesive_pairs_) {
+    const Vec3 dr = sys.min_image(pos[i], pos[j]);
+    const double r = dr.norm();
+    if (r > prm_.adhesion_cutoff || r < 1e-9) continue;
+    // Morse force magnitude (positive = attraction towards r0)
+    const double e = std::exp(-prm_.morse_beta * (r - prm_.morse_r0));
+    const double f = 2.0 * prm_.morse_D * prm_.morse_beta * (e * e - e);
+    // f > 0 for r < r0 (repulsion), f < 0 for r > r0 (attraction):
+    // force on i along -er scaled by f
+    const Vec3 er = dr * (1.0 / r);
+    frc[i] -= er * f;
+    frc[j] += er * f;
   }
 
   // active platelets are pulled towards adhesive wall regions
@@ -85,6 +104,7 @@ void PlateletModel::on_remap(const std::vector<long>& new_index) {
   particles_ = std::move(np_);
   state_ = std::move(ns_);
   trigger_time_ = std::move(nt_);
+  rebuild_index();
 }
 
 void PlateletModel::update(DpdSystem& sys) {
@@ -112,14 +132,17 @@ void PlateletModel::update(DpdSystem& sys) {
             sys.geometry().sdf(pos[i]) < prm_.bind_distance && speed < prm_.bind_speed)
           arrest = true;
         if (!arrest && speed < prm_.bind_speed) {
-          // arrest onto an already-bound platelet (thrombus growth)
-          for (std::size_t b = 0; b < particles_.size(); ++b) {
-            if (state_[b] != PlateletState::Bound) continue;
-            if (sys.min_image(pos[i], pos[particles_[b]]).norm() < prm_.bind_distance) {
-              arrest = true;
-              break;
-            }
-          }
+          // arrest onto an already-bound platelet (thrombus growth); the
+          // result is a boolean OR over candidates, so grid visit order
+          // does not matter
+          sys.query_neighbors(pos[i], prm_.bind_distance,
+                              [&](std::size_t j, const Vec3&, double r2) {
+                                if (arrest || j == i) return;
+                                const std::size_t b = platelet_of(j);
+                                if (b == static_cast<std::size_t>(-1)) return;
+                                if (state_[b] != PlateletState::Bound) return;
+                                if (r2 < prm_.bind_distance * prm_.bind_distance) arrest = true;
+                              });
         }
         if (arrest) {
           state_[k] = PlateletState::Bound;
@@ -153,6 +176,7 @@ void PlateletModel::load_state(resilience::BlobReader& r) {
   trigger_time_ = r.vec<double>();
   if (state_.size() != particles_.size() || trigger_time_.size() != particles_.size())
     throw resilience::CorruptError("PlateletModel: inconsistent array lengths in checkpoint");
+  rebuild_index();
 }
 
 }  // namespace dpd

@@ -11,6 +11,8 @@
 // growing thrombus.
 
 #include <functional>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "dpd/system.hpp"
@@ -19,6 +21,8 @@ namespace dpd {
 
 struct PlateletParams {
   /// Is a point inside the adhesive (damaged-endothelium) wall region?
+  /// Setup-time configuration, evaluated per platelet (not per pair).
+  // lint: std-function-ok (setup-time callback, not a pair-loop parameter)
   std::function<bool(const Vec3&)> adhesive_region;
   double trigger_distance = 1.0;   ///< wall distance that triggers activation
   double activation_delay = 2.0;   ///< time between trigger and adhesiveness
@@ -58,10 +62,23 @@ public:
   PlateletState state_of(std::size_t k) const { return state_[k]; }
 
 private:
+  /// Platelet slot of particle j, or npos. Backed by an index map kept in
+  /// sync by add_platelet/on_remap/load_state so the cell-grid queries in
+  /// add_forces/update resolve candidates in O(1).
+  std::size_t platelet_of(std::size_t particle) const {
+    const auto it = index_of_.find(particle);
+    return it == index_of_.end() ? static_cast<std::size_t>(-1) : it->second;
+  }
+  void rebuild_index();
+
   PlateletParams prm_;
   std::vector<std::size_t> particles_;  ///< particle index per platelet
   std::vector<PlateletState> state_;
   std::vector<double> trigger_time_;
+  std::unordered_map<std::size_t, std::size_t> index_of_;  ///< particle -> slot
+  /// Scratch for add_forces: adhesive (i, j) particle pairs, sorted before
+  /// application so force accumulation order is grid-independent.
+  std::vector<std::pair<std::size_t, std::size_t>> adhesive_pairs_;
 };
 
 }  // namespace dpd

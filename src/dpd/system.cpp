@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "la/simd.hpp"
 #include "resilience/blob.hpp"
 #include "telemetry/registry.hpp"
 
@@ -11,8 +12,36 @@ namespace dpd {
 
 DpdSystem::DpdSystem(const DpdParams& prm, std::shared_ptr<Geometry> geom)
     : prm_(prm), geom_(std::move(geom)) {
-  if (prm.rc <= 0.0 || prm.dt <= 0.0) throw std::invalid_argument("DpdSystem: rc/dt");
+  if (prm.rc <= 0.0 || prm.dt <= 0.0 || prm.skin < 0.0)
+    throw std::invalid_argument("DpdSystem: rc/dt/skin");
   if (!geom_) geom_ = std::make_shared<NoWalls>();
+  nlist_.configure({prm_.box, prm_.periodic, prm_.rc, prm_.skin});
+  // hoist the per-species-pair coefficients (incl. sigma = sqrt(2 gamma kBT))
+  // out of the pair loop once and for all
+  for (int si = 0; si < kNumSpecies; ++si)
+    for (int sj = 0; sj < kNumSpecies; ++sj) {
+      const auto k = static_cast<std::size_t>(si * kNumSpecies + sj);
+      a_tab_[k] = prm_.a[static_cast<std::size_t>(si)][static_cast<std::size_t>(sj)];
+      g_tab_[k] = prm_.gamma[static_cast<std::size_t>(si)][static_cast<std::size_t>(sj)];
+      sig_tab_[k] = std::sqrt(2.0 * g_tab_[k] * prm_.kBT);
+    }
+}
+
+void DpdSystem::PairBatch::resize(std::size_t m) {
+  dx.resize(m);
+  dy.resize(m);
+  dz.resize(m);
+  r2.resize(m);
+  dvx.resize(m);
+  dvy.resize(m);
+  dvz.resize(m);
+  zeta.resize(m);
+  a.resize(m);
+  g.resize(m);
+  sig.resize(m);
+  fx.resize(m);
+  fy.resize(m);
+  fz.resize(m);
 }
 
 std::size_t DpdSystem::add_particle(const Vec3& pos, const Vec3& vel, Species s) {
@@ -22,6 +51,7 @@ std::size_t DpdSystem::add_particle(const Vec3& pos, const Vec3& vel, Species s)
   frc_old_.push_back({});
   species_.push_back(s);
   frozen_.push_back(0);
+  nlist_.invalidate();
   return pos_.size() - 1;
 }
 
@@ -80,6 +110,7 @@ void DpdSystem::remove_particles(std::vector<std::size_t> idx) {
   frc_old_.resize(w);
   species_.resize(w);
   frozen_.resize(w);
+  nlist_.on_remap(new_index);
   for (auto& m : modules_) m->on_remap(new_index);
 }
 
@@ -126,95 +157,66 @@ void DpdSystem::build_cells() {
   }
 }
 
-void DpdSystem::for_each_pair(
-    const std::function<void(std::size_t, std::size_t, const Vec3&, double)>& fn) {
-  build_cells();
-  const double rc2 = prm_.rc * prm_.rc;
-
-  // A periodic dimension with fewer than 3 cells breaks the half-stencil's
-  // visit-each-pair-once guarantee (the wrap maps two different offsets --
-  // or both cells' forward offsets -- onto the same neighbour). Fall back
-  // to direct O(N^2) enumeration for such tiny boxes.
-  const bool degenerate = (prm_.periodic[0] && ncx_ < 3) || (prm_.periodic[1] && ncy_ < 3) ||
-                          (prm_.periodic[2] && ncz_ < 3);
-  if (degenerate) {
-    for (std::size_t i = 0; i < pos_.size(); ++i)
-      for (std::size_t j = i + 1; j < pos_.size(); ++j) {
-        const Vec3 dr = min_image(pos_[i], pos_[j]);
-        const double r2 = dr.norm2();
-        if (r2 < rc2 && r2 > 1e-20) fn(i, j, dr, std::sqrt(r2));
-      }
-    return;
-  }
-  // half stencil of neighbour cell offsets (13 + same cell)
-  static constexpr int kOff[13][3] = {{1, 0, 0},  {0, 1, 0},  {0, 0, 1},  {1, 1, 0},
-                                      {1, -1, 0}, {1, 0, 1},  {1, 0, -1}, {0, 1, 1},
-                                      {0, 1, -1}, {1, 1, 1},  {1, 1, -1}, {1, -1, 1},
-                                      {1, -1, -1}};
-  auto cell_of = [this](int cx, int cy, int cz) -> long {
-    auto adjust = [](int c, int n, bool per) -> int {
-      if (c < 0) return per ? c + n : -1;
-      if (c >= n) return per ? c - n : -1;
-      return c;
-    };
-    cx = adjust(cx, ncx_, prm_.periodic[0]);
-    cy = adjust(cy, ncy_, prm_.periodic[1]);
-    cz = adjust(cz, ncz_, prm_.periodic[2]);
-    if (cx < 0 || cy < 0 || cz < 0) return -1;
-    return (static_cast<long>(cz) * ncy_ + cy) * ncx_ + cx;
-  };
-
-  for (int cz = 0; cz < ncz_; ++cz)
-    for (int cy = 0; cy < ncy_; ++cy)
-      for (int cx = 0; cx < ncx_; ++cx) {
-        const long c = cell_of(cx, cy, cz);
-        // same-cell pairs
-        for (long i = cell_head_[static_cast<std::size_t>(c)]; i >= 0; i = cell_next_[static_cast<std::size_t>(i)])
-          for (long j = cell_next_[static_cast<std::size_t>(i)]; j >= 0; j = cell_next_[static_cast<std::size_t>(j)]) {
-            const Vec3 dr = min_image(pos_[static_cast<std::size_t>(i)], pos_[static_cast<std::size_t>(j)]);
-            const double r2 = dr.norm2();
-            if (r2 < rc2 && r2 > 1e-20)
-              fn(static_cast<std::size_t>(i), static_cast<std::size_t>(j), dr, std::sqrt(r2));
-          }
-        // neighbour-cell pairs
-        for (const auto& o : kOff) {
-          const long c2 = cell_of(cx + o[0], cy + o[1], cz + o[2]);
-          if (c2 < 0) continue;
-          if (c2 == c) continue;
-          for (long i = cell_head_[static_cast<std::size_t>(c)]; i >= 0; i = cell_next_[static_cast<std::size_t>(i)])
-            for (long j = cell_head_[static_cast<std::size_t>(c2)]; j >= 0; j = cell_next_[static_cast<std::size_t>(j)]) {
-              const Vec3 dr = min_image(pos_[static_cast<std::size_t>(i)], pos_[static_cast<std::size_t>(j)]);
-              const double r2 = dr.norm2();
-              if (r2 < rc2 && r2 > 1e-20)
-                fn(static_cast<std::size_t>(i), static_cast<std::size_t>(j), dr, std::sqrt(r2));
-            }
-        }
-      }
-}
-
 void DpdSystem::pair_forces() {
+  // Batched Groot-Warren pair forces over the Verlet list: per particle i,
+  // gather its neighbor run into flat lanes (minimum-image separation,
+  // relative velocity, counter-based noise, hoisted coefficients), hand the
+  // run to the SIMD kernel, then scatter only the in-range lanes. Skipping
+  // out-of-range lanes entirely — rather than zeroing them — keeps the
+  // floating-point accumulation order a function of the particle state
+  // alone, independent of when the list was built (bitwise restarts).
+  ensure_neighbors();
+  const double rc2 = prm_.rc * prm_.rc;
+  const double inv_rc = 1.0 / prm_.rc;
   const double inv_sqrt_dt = 1.0 / std::sqrt(prm_.dt);
-  for_each_pair([&](std::size_t i, std::size_t j, const Vec3& dr, double r) {
-    const double w = 1.0 - r / prm_.rc;
-    const Vec3 er = dr * (1.0 / r);  // unit vector i -> j
-    const Species si = species_[i], sj = species_[j];
-    const double a = prm_.a[si][sj];
-    const double g = prm_.gamma[si][sj];
-    const double sig = std::sqrt(2.0 * g * prm_.kBT);
-    // With r_hat = (r_i - r_j)/r = -er and v_ij = v_i - v_j = -dv:
-    // r_hat . v_ij = er . dv = rv.
-    const Vec3 dv = vel_[j] - vel_[i];
-    const double rv = er.dot(dv);
-    const double zeta =
-        pair_gaussian_like(step_, static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j));
-    // Groot-Warren force on i along r_hat (= -er):
-    //   a w  -  gamma w^2 (r_hat . v_ij)  +  sigma w zeta / sqrt(dt)
-    const double fmag = a * w                              // conservative
-                        - g * w * w * rv                   // dissipative
-                        + sig * w * zeta * inv_sqrt_dt;    // random
-    frc_[i] -= er * fmag;
-    frc_[j] += er * fmag;
-  });
+  const auto& offs = nlist_.offsets();
+  const auto& nbr = nlist_.neighbors();
+  const std::size_t n = pos_.size();
+  auto& b = batch_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = offs[i], hi = offs[i + 1];
+    const std::size_t m = hi - lo;
+    if (m == 0) continue;
+    b.resize(m);
+    const Species si = species_[i];
+    const double* a_row = &a_tab_[static_cast<std::size_t>(si) * kNumSpecies];
+    const double* g_row = &g_tab_[static_cast<std::size_t>(si) * kNumSpecies];
+    const double* s_row = &sig_tab_[static_cast<std::size_t>(si) * kNumSpecies];
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::size_t j = nbr[lo + k];
+      const Vec3 dr = min_image(pos_[i], pos_[j]);
+      b.dx[k] = dr.x;
+      b.dy[k] = dr.y;
+      b.dz[k] = dr.z;
+      b.r2[k] = dr.norm2();
+      const Vec3 dv = vel_[j] - vel_[i];
+      b.dvx[k] = dv.x;
+      b.dvy[k] = dv.y;
+      b.dvz[k] = dv.z;
+      b.zeta[k] = pair_gaussian_like(step_, static_cast<std::uint32_t>(i),
+                                     static_cast<std::uint32_t>(j));
+      const Species sj = species_[j];
+      b.a[k] = a_row[sj];
+      b.g[k] = g_row[sj];
+      b.sig[k] = s_row[sj];
+    }
+    // f = (dx,dy,dz) fmag / r is the force on j; i receives -f (the kernel
+    // header documents the lane math; out-of-range lanes are discarded).
+    la::simd::dpd_pair_forces(m, inv_rc, inv_sqrt_dt, b.dx.data(), b.dy.data(), b.dz.data(),
+                              b.r2.data(), b.dvx.data(), b.dvy.data(), b.dvz.data(),
+                              b.zeta.data(), b.a.data(), b.g.data(), b.sig.data(), b.fx.data(),
+                              b.fy.data(), b.fz.data());
+    for (std::size_t k = 0; k < m; ++k) {
+      if (b.r2[k] >= rc2 || b.r2[k] <= 1e-20) continue;
+      const std::size_t j = nbr[lo + k];
+      frc_[i].x -= b.fx[k];
+      frc_[i].y -= b.fy[k];
+      frc_[i].z -= b.fz[k];
+      frc_[j].x += b.fx[k];
+      frc_[j].y += b.fy[k];
+      frc_[j].z += b.fz[k];
+    }
+  }
 }
 
 void DpdSystem::compute_forces() {
@@ -260,26 +262,28 @@ void DpdSystem::step() {
   const double dt = prm_.dt;
   if (step_ == 0) compute_forces();
 
-  // Groot-Warren modified velocity-Verlet
-  std::vector<Vec3> v_pred(n);
+  // Groot-Warren modified velocity-Verlet. v_pred_ is a persistent scratch
+  // buffer (reallocating it every step showed up in the step profile);
+  // every entry is written before use, so no re-initialisation is needed.
+  v_pred_.resize(n);
   {
     telemetry::ScopedPhase integrate("dpd.integrate");
     for (std::size_t i = 0; i < n; ++i) {
       if (frozen_[i]) {
-        v_pred[i] = {};
+        v_pred_[i] = {};
         continue;
       }
       pos_[i] += vel_[i] * dt + frc_[i] * (0.5 * dt * dt);
-      v_pred[i] = vel_[i] + frc_[i] * (prm_.lambda * dt);
+      v_pred_[i] = vel_[i] + frc_[i] * (prm_.lambda * dt);
       wrap(pos_[i]);
       reflect_walls(i);
     }
   }
   frc_old_ = frc_;
   // force evaluation at predicted velocities
-  std::swap(vel_, v_pred);
+  std::swap(vel_, v_pred_);
   compute_forces();
-  std::swap(vel_, v_pred);
+  std::swap(vel_, v_pred_);
   {
     telemetry::ScopedPhase integrate("dpd.integrate");
     for (std::size_t i = 0; i < n; ++i) {
@@ -343,6 +347,7 @@ void DpdSystem::load_state(resilience::BlobReader& r) {
       frozen_.size() != n)
     throw resilience::CorruptError("DpdSystem: inconsistent array lengths in checkpoint");
   resilience::get_rng(r, rng_);
+  nlist_.invalidate();
 }
 
 }  // namespace dpd

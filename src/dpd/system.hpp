@@ -1,10 +1,10 @@
 #pragma once
 // Core DPD engine (the in-house DPD-LAMMPS stand-in): soft pairwise
 // conservative + dissipative + random forces (Groot & Warren 1997,
-// Hoogerbrugge & Koelman 1992), cell-list neighbour search, modified
-// velocity-Verlet integration, SDF walls with effective boundary forces and
-// bounce-back, plus pluggable force modules (bonded cells, platelet
-// adhesion).
+// Hoogerbrugge & Koelman 1992), Verlet neighbor-list pair search with an
+// AVX2-batched force kernel (see docs/PERF.md), modified velocity-Verlet
+// integration, SDF walls with effective boundary forces and bounce-back,
+// plus pluggable force modules (bonded cells, platelet adhesion).
 
 #include <array>
 #include <functional>
@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "dpd/geometry.hpp"
+#include "dpd/neighbor.hpp"
 #include "dpd/types.hpp"
 
 namespace resilience {
@@ -42,6 +43,10 @@ struct DpdParams {
   double kBT = 1.0;
   double dt = 0.01;
   double lambda = 0.65;  ///< Groot-Warren velocity prediction factor
+  /// Verlet-list skin radius: the neighbor list covers rc + skin and is
+  /// reused until some particle moves farther than skin/2 (0 disables
+  /// reuse: rebuild on every force evaluation).
+  double skin = 0.3;
 
   /// Pair coefficients by species (symmetric): conservative repulsion a_ij
   /// and dissipative gamma_ij (sigma_ij = sqrt(2 gamma_ij kBT)).
@@ -90,6 +95,8 @@ public:
   void add_module(std::shared_ptr<ForceModule> m) { modules_.push_back(std::move(m)); }
 
   /// Per-particle external force (body force / pressure gradient).
+  /// Setup-time configuration, evaluated outside the pair hot loop.
+  // lint: std-function-ok (setup-time callback, not a pair-loop parameter)
   using BodyForceFn = std::function<Vec3(const Vec3& pos, Species s)>;
   void set_body_force(BodyForceFn f) { body_force_ = std::move(f); }
 
@@ -118,19 +125,119 @@ public:
   /// Checkpoint the full particle state: step counter, positions/velocities,
   /// current and previous forces (the modified-velocity-Verlet half-step
   /// memory), species, frozen flags, and the RNG engine — everything needed
-  /// for a bitwise-identical restart. Modules serialise separately.
+  /// for a bitwise-identical restart. The Verlet list and the integrator's
+  /// prediction scratch are rebuilt on demand and deliberately not
+  /// serialised (restart trajectories stay bitwise identical regardless;
+  /// see docs/PERF.md). Modules serialise separately.
   void save_state(resilience::BlobWriter& w) const;
   void load_state(resilience::BlobReader& r);
 
-  /// Loop over all interacting pairs (r < rc) via the cell list; fn gets
-  /// (i, j, dr = xj - xi minimum image, r). Rebuilds the cell list.
-  void for_each_pair(const std::function<void(std::size_t, std::size_t, const Vec3&, double)>& fn);
+  // --- pair iteration -----------------------------------------------------
+  //
+  // The hot path takes a template parameter so the per-pair kernel inlines
+  // (a std::function here costs an indirect call per pair; the repo lint
+  // forbids reintroducing one).
+
+  /// Loop over all interacting pairs (r < rc) via the Verlet neighbor list;
+  /// fn gets (i, j, dr = xj - xi minimum image, r). Reuses the list while
+  /// the skin criterion holds, rebuilds otherwise.
+  template <class Fn>
+  void for_each_pair(Fn&& fn) {
+    ensure_neighbors();
+    nlist_.for_each(pos_, std::forward<Fn>(fn));
+  }
+
+  /// Legacy pre-Verlet pair walk: rebuilds the rc-sized cell grid on every
+  /// call and enumerates via the half stencil. Kept as the baseline for
+  /// bench/extra_dpd_pairs and the equivalence tests.
+  template <class Fn>
+  void for_each_pair_cellwalk(Fn&& fn) {
+    build_cells();
+    const double rc2 = prm_.rc * prm_.rc;
+    const bool degenerate = (prm_.periodic[0] && ncx_ < 3) || (prm_.periodic[1] && ncy_ < 3) ||
+                            (prm_.periodic[2] && ncz_ < 3);
+    if (degenerate) {
+      for_each_pair_direct(std::forward<Fn>(fn));
+      return;
+    }
+    auto cell_of = [this](int cx, int cy, int cz) -> long {
+      auto adjust = [](int c, int n, bool per) -> int {
+        if (c < 0) return per ? c + n : -1;
+        if (c >= n) return per ? c - n : -1;
+        return c;
+      };
+      cx = adjust(cx, ncx_, prm_.periodic[0]);
+      cy = adjust(cy, ncy_, prm_.periodic[1]);
+      cz = adjust(cz, ncz_, prm_.periodic[2]);
+      if (cx < 0 || cy < 0 || cz < 0) return -1;
+      return (static_cast<long>(cz) * ncy_ + cy) * ncx_ + cx;
+    };
+    auto visit = [&](long i, long j) {
+      const auto ii = static_cast<std::size_t>(i), jj = static_cast<std::size_t>(j);
+      const Vec3 dr = min_image(pos_[ii], pos_[jj]);
+      const double r2 = dr.norm2();
+      if (r2 < rc2 && r2 > 1e-20)
+        fn(static_cast<std::size_t>(i), static_cast<std::size_t>(j), dr, std::sqrt(r2));
+    };
+    for (int cz = 0; cz < ncz_; ++cz)
+      for (int cy = 0; cy < ncy_; ++cy)
+        for (int cx = 0; cx < ncx_; ++cx) {
+          const long c = cell_of(cx, cy, cz);
+          for (long i = cell_head_[static_cast<std::size_t>(c)]; i >= 0;
+               i = cell_next_[static_cast<std::size_t>(i)])
+            for (long j = cell_next_[static_cast<std::size_t>(i)]; j >= 0;
+                 j = cell_next_[static_cast<std::size_t>(j)])
+              visit(i, j);
+          for (const auto& o : kHalfStencil) {
+            const long c2 = cell_of(cx + o[0], cy + o[1], cz + o[2]);
+            if (c2 < 0 || c2 == c) continue;
+            for (long i = cell_head_[static_cast<std::size_t>(c)]; i >= 0;
+                 i = cell_next_[static_cast<std::size_t>(i)])
+              for (long j = cell_head_[static_cast<std::size_t>(c2)]; j >= 0;
+                   j = cell_next_[static_cast<std::size_t>(j)])
+                visit(i, j);
+          }
+        }
+  }
+
+  /// Direct O(N^2) pair enumeration — the reference the fast paths are
+  /// validated against in tests/neighbor_test.cpp.
+  template <class Fn>
+  void for_each_pair_direct(Fn&& fn) const {
+    const double rc2 = prm_.rc * prm_.rc;
+    for (std::size_t i = 0; i < pos_.size(); ++i)
+      for (std::size_t j = i + 1; j < pos_.size(); ++j) {
+        const Vec3 dr = min_image(pos_[i], pos_[j]);
+        const double r2 = dr.norm2();
+        if (r2 < rc2 && r2 > 1e-20) fn(i, j, dr, std::sqrt(r2));
+      }
+  }
+
+  /// Bring the Verlet list / cell grid up to date with the current
+  /// positions (no-op while the skin criterion holds).
+  void ensure_neighbors() { nlist_.ensure(pos_); }
+
+  /// Visit every particle within `cutoff` of point `p` via the neighbor
+  /// grid: fn(j, dr = xj - p minimum image, r2). Call ensure_neighbors()
+  /// first when positions may have drifted.
+  template <class Fn>
+  void query_neighbors(const Vec3& p, double cutoff, Fn&& fn) const {
+    nlist_.query(pos_, p, cutoff, std::forward<Fn>(fn));
+  }
+
+  /// The neighbor-list engine (rebuild/reuse stats for benches and tests).
+  const NeighborList& neighbor_list() const { return nlist_; }
 
 private:
   void build_cells();
   void wrap(Vec3& p) const;
   void reflect_walls(std::size_t i);
   void pair_forces();
+
+  static constexpr int kHalfStencil[13][3] = {{1, 0, 0},  {0, 1, 0},  {0, 0, 1},  {1, 1, 0},
+                                              {1, -1, 0}, {1, 0, 1},  {1, 0, -1}, {0, 1, 1},
+                                              {0, 1, -1}, {1, 1, 1},  {1, 1, -1}, {1, -1, 1},
+                                              {1, -1, -1}};
 
   DpdParams prm_;
   std::shared_ptr<Geometry> geom_;
@@ -141,10 +248,27 @@ private:
   std::vector<std::shared_ptr<ForceModule>> modules_;
   BodyForceFn body_force_;
 
-  // cell list
+  // Verlet neighbor list (the hot-path pair source)
+  NeighborList nlist_;
+
+  // per-species-pair coefficient tables, hoisted out of the pair loop:
+  // a, gamma, and sigma = sqrt(2 gamma kBT), row-major [si * kNumSpecies + sj]
+  std::array<double, kNumSpecies * kNumSpecies> a_tab_{}, g_tab_{}, sig_tab_{};
+
+  // legacy rc-sized cell grid (for_each_pair_cellwalk baseline only)
   int ncx_ = 0, ncy_ = 0, ncz_ = 0;
   std::vector<long> cell_head_;
   std::vector<long> cell_next_;
+
+  // reusable scratch: predicted velocities (integrator) and the gathered
+  // per-run pair batch handed to la::simd::dpd_pair_forces. Dead between
+  // calls — never checkpointed.
+  std::vector<Vec3> v_pred_;
+  struct PairBatch {
+    std::vector<double> dx, dy, dz, r2, dvx, dvy, dvz, zeta, a, g, sig, fx, fy, fz;
+    void resize(std::size_t m);
+  };
+  PairBatch batch_;
 
   std::uint64_t step_ = 0;
   std::mt19937 rng_{0xD1CEu};

@@ -5,6 +5,7 @@
 
 #include "la/simd.hpp"
 
+#include <cmath>
 #include <immintrin.h>
 
 namespace la::simd {
@@ -153,8 +154,136 @@ void xpay(const double* x, double a, double* y, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) y[i] = x[i] + a * y[i];
 }
 
-void scale(double a, double* x, std::size_t n) {
+NO_AUTOVEC
+void scale_scalar(double a, double* x, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) x[i] *= a;
+}
+
+void scale_avx2(double a, double* x, std::size_t n) {
+  const __m256d av = _mm256_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(av, _mm256_loadu_pd(x + i)));
+    _mm256_storeu_pd(x + i + 4, _mm256_mul_pd(av, _mm256_loadu_pd(x + i + 4)));
+  }
+  for (; i < n; ++i) x[i] *= a;
+}
+
+void scale(double a, double* x, std::size_t n) {
+  static const Isa isa = detect();
+  if (isa == Isa::Avx2) return scale_avx2(a, x, n);
+  scale_scalar(a, x, n);
+}
+
+NO_AUTOVEC
+void dpd_pair_forces_scalar(std::size_t n, double inv_rc, double inv_sqrt_dt, const double* dx,
+                            const double* dy, const double* dz, const double* r2,
+                            const double* dvx, const double* dvy, const double* dvz,
+                            const double* zeta, const double* a, const double* g,
+                            const double* sig, double* fx, double* fy, double* fz) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const double r = std::sqrt(r2[k]);
+    const double inv_r = 1.0 / r;
+    const double w = 1.0 - r * inv_rc;
+    const double rv = (dx[k] * dvx[k] + dy[k] * dvy[k] + dz[k] * dvz[k]) * inv_r;
+    const double fmag = a[k] * w - g[k] * w * w * rv + sig[k] * w * zeta[k] * inv_sqrt_dt;
+    const double s = fmag * inv_r;
+    fx[k] = dx[k] * s;
+    fy[k] = dy[k] * s;
+    fz[k] = dz[k] * s;
+  }
+}
+
+namespace {
+
+/// One 4-lane block of the Groot-Warren pair kernel. Both the main loop and
+/// the (padded) tail go through this exact instruction sequence, so the
+/// value computed for a pair never depends on its position in the batch —
+/// load-bearing for bitwise checkpoint/restart, where the same pair can sit
+/// at a different batch offset depending on when the Verlet list was built.
+inline void dpd_block4(__m256d one, __m256d virc, __m256d visdt, const double* dx,
+                       const double* dy, const double* dz, const double* r2,
+                       const double* dvx, const double* dvy, const double* dvz,
+                       const double* zeta, const double* a, const double* g,
+                       const double* sig, double* fx, double* fy, double* fz) {
+  const __m256d vdx = _mm256_loadu_pd(dx);
+  const __m256d vdy = _mm256_loadu_pd(dy);
+  const __m256d vdz = _mm256_loadu_pd(dz);
+  const __m256d vr = _mm256_sqrt_pd(_mm256_loadu_pd(r2));
+  const __m256d vinv_r = _mm256_div_pd(one, vr);
+  const __m256d vw = _mm256_fnmadd_pd(vr, virc, one);  // 1 - r/rc
+  const __m256d vrv =
+      _mm256_mul_pd(_mm256_fmadd_pd(vdx, _mm256_loadu_pd(dvx),
+                                    _mm256_fmadd_pd(vdy, _mm256_loadu_pd(dvy),
+                                                    _mm256_mul_pd(vdz, _mm256_loadu_pd(dvz)))),
+                    vinv_r);
+  // fmag = w * (a - g*w*rv + sig*zeta*inv_sqrt_dt)
+  const __m256d vdiss = _mm256_mul_pd(_mm256_mul_pd(_mm256_loadu_pd(g), vw), vrv);
+  const __m256d vrand =
+      _mm256_mul_pd(_mm256_mul_pd(_mm256_loadu_pd(sig), _mm256_loadu_pd(zeta)), visdt);
+  const __m256d vfmag =
+      _mm256_mul_pd(vw, _mm256_add_pd(_mm256_sub_pd(_mm256_loadu_pd(a), vdiss), vrand));
+  const __m256d vs = _mm256_mul_pd(vfmag, vinv_r);
+  _mm256_storeu_pd(fx, _mm256_mul_pd(vdx, vs));
+  _mm256_storeu_pd(fy, _mm256_mul_pd(vdy, vs));
+  _mm256_storeu_pd(fz, _mm256_mul_pd(vdz, vs));
+}
+
+}  // namespace
+
+void dpd_pair_forces_avx2(std::size_t n, double inv_rc, double inv_sqrt_dt, const double* dx,
+                          const double* dy, const double* dz, const double* r2,
+                          const double* dvx, const double* dvy, const double* dvz,
+                          const double* zeta,
+                          const double* a, const double* g, const double* sig, double* fx,
+                          double* fy, double* fz) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d virc = _mm256_set1_pd(inv_rc);
+  const __m256d visdt = _mm256_set1_pd(inv_sqrt_dt);
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4)
+    dpd_block4(one, virc, visdt, dx + k, dy + k, dz + k, r2 + k, dvx + k, dvy + k, dvz + k,
+               zeta + k, a + k, g + k, sig + k, fx + k, fy + k, fz + k);
+  if (k < n) {
+    // tail: pad to a full block (r2 = 1 keeps the padded lanes exception
+    // free) and run the identical 4-lane body, then copy out the real lanes
+    const std::size_t m = n - k;
+    alignas(32) double tdx[4] = {}, tdy[4] = {}, tdz[4] = {}, tr2[4] = {1.0, 1.0, 1.0, 1.0},
+                       tdvx[4] = {}, tdvy[4] = {}, tdvz[4] = {}, tzeta[4] = {}, ta[4] = {},
+                       tg[4] = {}, tsig[4] = {}, tfx[4], tfy[4], tfz[4];
+    for (std::size_t l = 0; l < m; ++l) {
+      tdx[l] = dx[k + l];
+      tdy[l] = dy[k + l];
+      tdz[l] = dz[k + l];
+      tr2[l] = r2[k + l];
+      tdvx[l] = dvx[k + l];
+      tdvy[l] = dvy[k + l];
+      tdvz[l] = dvz[k + l];
+      tzeta[l] = zeta[k + l];
+      ta[l] = a[k + l];
+      tg[l] = g[k + l];
+      tsig[l] = sig[k + l];
+    }
+    dpd_block4(one, virc, visdt, tdx, tdy, tdz, tr2, tdvx, tdvy, tdvz, tzeta, ta, tg, tsig, tfx,
+               tfy, tfz);
+    for (std::size_t l = 0; l < m; ++l) {
+      fx[k + l] = tfx[l];
+      fy[k + l] = tfy[l];
+      fz[k + l] = tfz[l];
+    }
+  }
+}
+
+void dpd_pair_forces(std::size_t n, double inv_rc, double inv_sqrt_dt, const double* dx,
+                     const double* dy, const double* dz, const double* r2, const double* dvx,
+                     const double* dvy, const double* dvz, const double* zeta, const double* a,
+                     const double* g, const double* sig, double* fx, double* fy, double* fz) {
+  static const Isa isa = detect();
+  if (isa == Isa::Avx2)
+    return dpd_pair_forces_avx2(n, inv_rc, inv_sqrt_dt, dx, dy, dz, r2, dvx, dvy, dvz, zeta, a,
+                                g, sig, fx, fy, fz);
+  dpd_pair_forces_scalar(n, inv_rc, inv_sqrt_dt, dx, dy, dz, r2, dvx, dvy, dvz, zeta, a, g, sig,
+                         fx, fy, fz);
 }
 
 #undef NO_AUTOVEC

@@ -24,11 +24,13 @@ Isa detect();
 void vmul_scalar(double* z, const double* x, const double* y, std::size_t n);
 double dot_xyz_scalar(const double* x, const double* y, const double* z, std::size_t n);
 double dot_xyy_scalar(const double* x, const double* y, std::size_t n);
+void scale_scalar(double a, double* x, std::size_t n);
 
 // --- vectorised implementations (valid to call only if detect()==Avx2) ---
 void vmul_avx2(double* z, const double* x, const double* y, std::size_t n);
 double dot_xyz_avx2(const double* x, const double* y, const double* z, std::size_t n);
 double dot_xyy_avx2(const double* x, const double* y, std::size_t n);
+void scale_avx2(double a, double* x, std::size_t n);
 
 // --- dispatched entry points used by the solvers ---
 void vmul(double* z, const double* x, const double* y, std::size_t n);
@@ -40,5 +42,40 @@ double dot(const double* x, const double* y, std::size_t n);
 void axpy(double a, const double* x, double* y, std::size_t n);   // y += a*x
 void xpay(const double* x, double a, double* y, std::size_t n);   // y = x + a*y
 void scale(double a, double* x, std::size_t n);                   // x *= a
+
+// --- batched DPD pair-force kernel (Groot-Warren) ----------------------
+//
+// One lane per pair k of a neighbor run: given the minimum-image separation
+// (dx,dy,dz) with r2 = dx^2+dy^2+dz^2, the relative velocity (dvx,dvy,dvz)
+// = v_j - v_i, the symmetric noise zeta, and per-pair coefficients a
+// (conservative), g (dissipative gamma) and sig (= sqrt(2 g kBT), hoisted
+// by the caller), computes the force components on particle j:
+//
+//   w    = 1 - r * inv_rc
+//   rv   = (dx dvx + dy dvy + dz dvz) / r
+//   fmag = a w - g w^2 rv + sig w zeta inv_sqrt_dt
+//   f    = (dx, dy, dz) * fmag / r        (i receives -f)
+//
+// Lanes with r >= rc or r ~ 0 produce values the caller must discard (the
+// kernel does not filter; out-of-range lanes may be non-finite). Within one
+// ISA path the result for a lane is a pure function of that lane's inputs —
+// independent of n and of the lane's position in the batch (the AVX2 tail is
+// padded through the same 4-wide body) — so callers may re-batch the same
+// pairs differently and still get bitwise-identical forces.
+void dpd_pair_forces(std::size_t n, double inv_rc, double inv_sqrt_dt, const double* dx,
+                     const double* dy, const double* dz, const double* r2, const double* dvx,
+                     const double* dvy, const double* dvz, const double* zeta, const double* a,
+                     const double* g, const double* sig, double* fx, double* fy, double* fz);
+void dpd_pair_forces_scalar(std::size_t n, double inv_rc, double inv_sqrt_dt, const double* dx,
+                            const double* dy, const double* dz, const double* r2,
+                            const double* dvx, const double* dvy, const double* dvz,
+                            const double* zeta, const double* a, const double* g,
+                            const double* sig, double* fx, double* fy, double* fz);
+void dpd_pair_forces_avx2(std::size_t n, double inv_rc, double inv_sqrt_dt, const double* dx,
+                          const double* dy, const double* dz, const double* r2,
+                          const double* dvx, const double* dvy, const double* dvz,
+                          const double* zeta,
+                          const double* a, const double* g, const double* sig, double* fx,
+                          double* fy, double* fz);
 
 }  // namespace la::simd

@@ -1,0 +1,364 @@
+// Verlet neighbor-list equivalence suite: the fast pair paths (CSR list,
+// legacy cell walk, grid point queries) must agree exactly with direct
+// O(N^2) enumeration across periodicities, skins, degenerate boxes, and
+// particle insertion/deletion — and checkpoint/restart must stay bitwise
+// identical even though a restart rebuilds a list the uninterrupted run was
+// still reusing (docs/PERF.md explains why that is non-trivial).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "dpd/inflow.hpp"
+#include "dpd/neighbor.hpp"
+#include "dpd/system.hpp"
+#include "resilience/blob.hpp"
+
+namespace {
+
+using Pair = std::pair<std::size_t, std::size_t>;
+
+std::vector<dpd::Vec3> random_positions(std::size_t n, const dpd::Vec3& box, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> ux(0.0, box.x), uy(0.0, box.y), uz(0.0, box.z);
+  std::vector<dpd::Vec3> pos(n);
+  for (auto& p : pos) p = {ux(rng), uy(rng), uz(rng)};
+  return pos;
+}
+
+/// All pairs with r < rc at `pos` by direct O(N^2) enumeration, sorted.
+std::vector<Pair> brute_pairs(const dpd::NeighborList& nl, const std::vector<dpd::Vec3>& pos) {
+  const double rc2 = nl.params().rc * nl.params().rc;
+  std::vector<Pair> out;
+  for (std::size_t i = 0; i < pos.size(); ++i)
+    for (std::size_t j = i + 1; j < pos.size(); ++j)
+      if (nl.min_image(pos[i], pos[j]).norm2() < rc2) out.emplace_back(i, j);
+  return out;
+}
+
+std::vector<Pair> list_pairs(const dpd::NeighborList& nl, const std::vector<dpd::Vec3>& pos) {
+  std::vector<Pair> out;
+  nl.for_each(pos, [&](std::size_t i, std::size_t j, const dpd::Vec3&, double) {
+    out.emplace_back(std::min(i, j), std::max(i, j));
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Bitwise fingerprint of the full particle state.
+std::vector<std::uint8_t> state_of(const dpd::DpdSystem& sys) {
+  resilience::BlobWriter w;
+  sys.save_state(w);
+  return w.take();
+}
+
+}  // namespace
+
+// ---------------- pair enumeration vs brute force ----------------
+
+TEST(NeighborList, PairsMatchBruteForcePeriodic) {
+  dpd::NeighborParams prm;
+  prm.box = {8.0, 6.0, 5.0};
+  prm.periodic = {true, true, true};
+  prm.rc = 1.0;
+  prm.skin = 0.3;
+  dpd::NeighborList nl(prm);
+  const auto pos = random_positions(500, prm.box, 21);
+  EXPECT_TRUE(nl.ensure(pos));  // first ensure is always a rebuild
+  EXPECT_FALSE(nl.degenerate());
+  EXPECT_EQ(list_pairs(nl, pos), brute_pairs(nl, pos));
+}
+
+TEST(NeighborList, PairsMatchBruteForceMixedPeriodicity) {
+  dpd::NeighborParams prm;
+  prm.box = {8.0, 6.0, 5.0};
+  prm.periodic = {true, false, false};
+  prm.rc = 1.0;
+  prm.skin = 0.25;
+  dpd::NeighborList nl(prm);
+  const auto pos = random_positions(400, prm.box, 22);
+  nl.ensure(pos);
+  EXPECT_EQ(list_pairs(nl, pos), brute_pairs(nl, pos));
+}
+
+TEST(NeighborList, CsrRunsAreCanonical) {
+  // each pair once, under its lower index, runs sorted ascending — the
+  // ordering the bitwise-restart argument rests on
+  dpd::NeighborParams prm;
+  prm.box = {6.0, 6.0, 6.0};
+  dpd::NeighborList nl(prm);
+  const auto pos = random_positions(300, prm.box, 23);
+  nl.ensure(pos);
+  const auto& offs = nl.offsets();
+  const auto& nbr = nl.neighbors();
+  ASSERT_EQ(offs.size(), pos.size() + 1);
+  for (std::size_t i = 0; i + 1 < offs.size(); ++i)
+    for (std::size_t k = offs[i]; k < offs[i + 1]; ++k) {
+      EXPECT_GT(nbr[k], i);
+      if (k > offs[i]) {
+        EXPECT_GT(nbr[k], nbr[k - 1]);
+      }
+    }
+}
+
+TEST(NeighborList, ReuseUntilSkinExceeded) {
+  dpd::NeighborParams prm;
+  prm.box = {7.0, 7.0, 7.0};
+  prm.skin = 0.4;
+  dpd::NeighborList nl(prm);
+  auto pos = random_positions(400, prm.box, 24);
+  EXPECT_TRUE(nl.ensure(pos));
+
+  // displace every particle by less than skin/2: the stale list must be
+  // reused and still enumerate exactly the in-range pairs at the *new*
+  // positions
+  std::mt19937 rng(77);
+  std::uniform_real_distribution<double> d(-0.5, 0.5);
+  const double amp = 0.9 * 0.5 * prm.skin / std::sqrt(3.0);
+  for (auto& p : pos) p += dpd::Vec3{d(rng), d(rng), d(rng)} * amp;
+  EXPECT_FALSE(nl.ensure(pos));
+  EXPECT_EQ(nl.reuses(), 1u);
+  EXPECT_EQ(list_pairs(nl, pos), brute_pairs(nl, pos));
+
+  // one particle crossing skin/2 forces a rebuild
+  pos[7].x += 0.6 * prm.skin;
+  EXPECT_TRUE(nl.ensure(pos));
+  EXPECT_EQ(nl.rebuilds(), 2u);
+  EXPECT_EQ(list_pairs(nl, pos), brute_pairs(nl, pos));
+}
+
+TEST(NeighborList, ZeroSkinRebuildsEveryTime) {
+  dpd::NeighborParams prm;
+  prm.box = {5.0, 5.0, 5.0};
+  prm.skin = 0.0;
+  dpd::NeighborList nl(prm);
+  const auto pos = random_positions(100, prm.box, 25);
+  EXPECT_TRUE(nl.ensure(pos));
+  EXPECT_TRUE(nl.ensure(pos));  // even unchanged positions: no reuse
+  EXPECT_EQ(nl.reuses(), 0u);
+  EXPECT_EQ(list_pairs(nl, pos), brute_pairs(nl, pos));
+}
+
+TEST(NeighborList, DegenerateTinyBoxFallsBack) {
+  // 2.5^3 periodic box with rc + skin = 1.3 leaves < 3 cells per dimension:
+  // the half-stencil would double-count, so the build must fall back to
+  // direct enumeration — and still produce the exact pair set
+  dpd::NeighborParams prm;
+  prm.box = {2.5, 2.5, 2.5};
+  prm.periodic = {true, true, true};
+  prm.rc = 1.0;
+  prm.skin = 0.3;
+  dpd::NeighborList nl(prm);
+  const auto pos = random_positions(60, prm.box, 26);
+  nl.ensure(pos);
+  EXPECT_TRUE(nl.degenerate());
+  EXPECT_EQ(list_pairs(nl, pos), brute_pairs(nl, pos));
+}
+
+TEST(NeighborList, QueryMatchesBruteForce) {
+  dpd::NeighborParams prm;
+  prm.box = {8.0, 5.0, 6.0};
+  prm.periodic = {true, true, false};
+  prm.skin = 0.4;
+  dpd::NeighborList nl(prm);
+  auto pos = random_positions(500, prm.box, 27);
+  nl.ensure(pos);
+
+  auto check_queries = [&](unsigned seed) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> ux(0.0, prm.box.x), uy(0.0, prm.box.y),
+        uz(-1.0, prm.box.z + 1.0);
+    for (int q = 0; q < 50; ++q) {
+      const dpd::Vec3 p{ux(rng), uy(rng), uz(rng)};
+      const double cutoff = 0.5 + 0.02 * q;
+      std::vector<std::size_t> got, want;
+      nl.query(pos, p, cutoff,
+               [&](std::size_t j, const dpd::Vec3&, double) { got.push_back(j); });
+      for (std::size_t j = 0; j < pos.size(); ++j)
+        if (nl.min_image(p, pos[j]).norm2() <= cutoff * cutoff) want.push_back(j);
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, want) << "query " << q;
+    }
+  };
+  check_queries(31);
+
+  // after sub-skin/2 drift the grid is stale but padded: queries must still
+  // be exact against the *current* positions
+  std::mt19937 rng(78);
+  std::uniform_real_distribution<double> d(-0.5, 0.5);
+  const double amp = 0.9 * 0.5 * prm.skin / std::sqrt(3.0);
+  for (auto& p : pos) p += dpd::Vec3{d(rng), d(rng), d(rng)} * amp;
+  EXPECT_FALSE(nl.ensure(pos));
+  check_queries(32);
+}
+
+// ---------------- DpdSystem integration ----------------
+
+namespace {
+
+dpd::DpdParams small_box_params(double skin) {
+  dpd::DpdParams prm;
+  prm.box = {6.0, 6.0, 6.0};
+  prm.periodic = {true, true, true};
+  prm.skin = skin;
+  return prm;
+}
+
+}  // namespace
+
+TEST(DpdNeighbor, ForcesMatchDirectReference) {
+  // engine forces (Verlet gather + SIMD kernel) vs the Groot-Warren formula
+  // evaluated pair-by-pair over direct enumeration
+  auto prm = small_box_params(0.3);
+  dpd::DpdSystem sys(prm, std::make_shared<dpd::NoWalls>());
+  sys.fill(3.0, dpd::kSolvent);
+  sys.compute_forces();
+
+  const auto& vel = sys.velocities();
+  const auto& spc = sys.species();
+  std::vector<dpd::Vec3> ref(sys.size());
+  const double inv_sqrt_dt = 1.0 / std::sqrt(prm.dt);
+  sys.for_each_pair_direct([&](std::size_t i, std::size_t j, const dpd::Vec3& dr, double r) {
+    const auto si = static_cast<std::size_t>(spc[i]), sj = static_cast<std::size_t>(spc[j]);
+    const double a = prm.a[si][sj];
+    const double g = prm.gamma[si][sj];
+    const double sig = std::sqrt(2.0 * g * prm.kBT);
+    const double w = 1.0 - r / prm.rc;
+    const double rv = dr.dot(vel[j] - vel[i]) / r;
+    const double zeta = dpd::pair_gaussian_like(sys.step_count(), static_cast<std::uint32_t>(i),
+                                                static_cast<std::uint32_t>(j));
+    const double fmag = a * w - g * w * w * rv + sig * w * zeta * inv_sqrt_dt;
+    const dpd::Vec3 f = dr * (fmag / r);
+    ref[i] -= f;
+    ref[j] += f;
+  });
+
+  const auto& frc = sys.forces();
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    const double tol = 1e-9 * std::max(1.0, ref[i].norm());
+    EXPECT_NEAR(frc[i].x, ref[i].x, tol) << "particle " << i;
+    EXPECT_NEAR(frc[i].y, ref[i].y, tol);
+    EXPECT_NEAR(frc[i].z, ref[i].z, tol);
+  }
+}
+
+TEST(DpdNeighbor, TrajectoryIndependentOfSkin) {
+  // skin 0 rebuilds the list every force pass; skin 0.6 reuses a stale (but
+  // valid) one for many steps. The canonical pair order plus the batch-
+  // position-invariant kernel make the trajectories bitwise identical.
+  dpd::DpdSystem a(small_box_params(0.0), std::make_shared<dpd::NoWalls>());
+  dpd::DpdSystem b(small_box_params(0.6), std::make_shared<dpd::NoWalls>());
+  a.fill(3.0, dpd::kSolvent);
+  b.fill(3.0, dpd::kSolvent);
+  for (int s = 0; s < 25; ++s) {
+    a.step();
+    b.step();
+  }
+  EXPECT_GT(b.neighbor_list().reuses(), 0u);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(state_of(a), state_of(b));
+}
+
+TEST(DpdNeighbor, CheckpointRestartIsBitwise) {
+  // a restart rebuilds the neighbor list mid-reuse-window; the trajectory
+  // must not notice (the repo's CI digest smoke enforces the same property
+  // end-to-end)
+  auto prm = small_box_params(0.6);
+  dpd::DpdSystem sys(prm, std::make_shared<dpd::NoWalls>());
+  sys.fill(3.0, dpd::kSolvent);
+  for (int s = 0; s < 7; ++s) sys.step();
+
+  resilience::BlobWriter w;
+  sys.save_state(w);
+  const auto snapshot = w.take();
+
+  dpd::DpdSystem restarted(prm, std::make_shared<dpd::NoWalls>());
+  resilience::BlobReader r(snapshot.data(), snapshot.size());
+  restarted.load_state(r);
+
+  for (int s = 0; s < 9; ++s) {
+    sys.step();
+    restarted.step();
+  }
+  EXPECT_EQ(state_of(sys), state_of(restarted));
+}
+
+TEST(DpdNeighbor, ListSurvivesRemovalAndInsertion) {
+  auto prm = small_box_params(0.4);
+  dpd::DpdSystem sys(prm, std::make_shared<dpd::NoWalls>());
+  sys.fill(3.0, dpd::kSolvent);
+  sys.compute_forces();  // builds the list
+
+  auto expect_pairs_exact = [&] {
+    std::vector<Pair> fast, ref;
+    sys.for_each_pair([&](std::size_t i, std::size_t j, const dpd::Vec3&, double) {
+      fast.emplace_back(std::min(i, j), std::max(i, j));
+    });
+    sys.for_each_pair_direct([&](std::size_t i, std::size_t j, const dpd::Vec3&, double) {
+      ref.emplace_back(i, j);
+    });
+    std::sort(fast.begin(), fast.end());
+    std::sort(ref.begin(), ref.end());
+    EXPECT_EQ(fast, ref);
+  };
+
+  sys.remove_particles({0, 5, 17, sys.size() - 1});
+  expect_pairs_exact();
+
+  sys.add_particle({3.0, 3.0, 3.0}, {0.1, 0.0, 0.0}, dpd::kSolvent);
+  expect_pairs_exact();
+}
+
+TEST(DpdNeighbor, InflowOutflowKeepsListCorrect) {
+  // FlowBc inserts and deletes particles every step; the list must be
+  // invalidated/remapped through both paths
+  dpd::DpdParams prm;
+  prm.box = {10.0, 5.0, 5.0};
+  prm.periodic = {false, true, true};
+  prm.skin = 0.4;
+  dpd::DpdSystem sys(prm, std::make_shared<dpd::NoWalls>());
+  sys.fill(3.0, dpd::kSolvent);
+
+  dpd::FlowBcParams bp;
+  bp.axis = 0;
+  bp.density = 3.0;
+  bp.target_velocity = [](const dpd::Vec3&) { return dpd::Vec3{1.0, 0.0, 0.0}; };
+  dpd::FlowBc bc(bp);
+
+  for (int s = 0; s < 10; ++s) {
+    sys.step();
+    bc.apply(sys);
+  }
+  EXPECT_GT(bc.inserted_total() + bc.deleted_total(), 0u);
+
+  std::vector<Pair> fast, ref;
+  sys.for_each_pair([&](std::size_t i, std::size_t j, const dpd::Vec3&, double) {
+    fast.emplace_back(std::min(i, j), std::max(i, j));
+  });
+  sys.for_each_pair_direct(
+      [&](std::size_t i, std::size_t j, const dpd::Vec3&, double) { ref.emplace_back(i, j); });
+  std::sort(fast.begin(), fast.end());
+  std::sort(ref.begin(), ref.end());
+  EXPECT_EQ(fast, ref);
+}
+
+TEST(DpdNeighbor, CellwalkBaselineMatchesDirect) {
+  auto prm = small_box_params(0.3);
+  dpd::DpdSystem sys(prm, std::make_shared<dpd::NoWalls>());
+  sys.fill(3.0, dpd::kSolvent);
+  std::vector<Pair> walk, ref;
+  sys.for_each_pair_cellwalk([&](std::size_t i, std::size_t j, const dpd::Vec3&, double) {
+    walk.emplace_back(std::min(i, j), std::max(i, j));
+  });
+  sys.for_each_pair_direct(
+      [&](std::size_t i, std::size_t j, const dpd::Vec3&, double) { ref.emplace_back(i, j); });
+  std::sort(walk.begin(), walk.end());
+  std::sort(ref.begin(), ref.end());
+  EXPECT_EQ(walk, ref);
+}

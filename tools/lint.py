@@ -19,6 +19,15 @@ collective-trace
     collectives must report their logical transfers to the trace hook the
     machine model replays.
 
+dpd-no-std-function
+    Headers under src/dpd/ must not take or store `std::function` unless the
+    line (or the 2 lines above it) carries a `// lint: std-function-ok
+    (<reason>)` marker. std::function in a DPD interface is how an indirect
+    call per pair crept into the hot loop before the Verlet-list fast path
+    (see docs/PERF.md); pair iteration must stay templated. The marker is for
+    setup-time callbacks (body force, coupling velocity fields) that are
+    evaluated at most once per particle, never per pair.
+
 pragma-once
     Every header under src/ starts with `#pragma once`.
 
@@ -46,6 +55,8 @@ TRACE_RE = re.compile(r"\b(trace_transfer|trace_allreduce|emit_trace)\b")
 DIVCHECK_RE = re.compile(r"%\s*sizeof")
 MEMCPY_OK_RE = re.compile(r"//\s*lint:\s*memcpy-ok")
 NO_TRACE_RE = re.compile(r"//\s*lint:\s*no-trace")
+STD_FUNCTION_RE = re.compile(r"\bstd\s*::\s*function\s*<")
+STD_FUNCTION_OK_RE = re.compile(r"//\s*lint:\s*std-function-ok")
 
 
 class Finding:
@@ -111,6 +122,7 @@ def lint_file(path: pathlib.Path, repo_root: pathlib.Path) -> list[Finding]:
 
     in_src = rel.startswith("src/")
     in_xmp = rel.startswith("src/xmp/")
+    in_dpd_header = rel.startswith("src/dpd/") and path.suffix == ".hpp"
 
     if in_src and path.suffix == ".hpp":
         head = [l.strip() for l in lines[:5]]
@@ -137,6 +149,15 @@ def lint_file(path: pathlib.Path, repo_root: pathlib.Path) -> list[Finding]:
                     rel, i + 1, "memcpy-divisibility",
                     "memcpy with a non-sizeof byte count needs a preceding `% sizeof` "
                     "divisibility check or a `// lint: memcpy-ok (<reason>)` marker"))
+
+        if in_dpd_header and STD_FUNCTION_RE.search(line):
+            if not marker_near(lines, i, STD_FUNCTION_OK_RE, MARKER_BACKWINDOW):
+                findings.append(Finding(
+                    rel, i + 1, "dpd-no-std-function",
+                    "std::function in a DPD header puts an indirect call in "
+                    "reach of the pair hot loop; template the callback, or "
+                    "mark a setup-time one with `// lint: std-function-ok "
+                    "(<reason>)`"))
 
         if in_xmp:
             for m in COLLECT_RE.finditer(line):
@@ -219,6 +240,23 @@ SELF_TEST_CASES = [
     ("tests/bad_using.cpp",
      "using namespace std;\n",
      {"no-using-namespace"}),
+    ("src/dpd/bad_fn.hpp",
+     "#pragma once\n#include <functional>\n"
+     "void for_each_pair(const std::function<void(int, int)>& fn);\n",
+     {"dpd-no-std-function"}),
+    ("src/dpd/ok_fn_marker.hpp",
+     "#pragma once\n#include <functional>\n"
+     "// lint: std-function-ok (setup-time callback, not a pair-loop parameter)\n"
+     "using BodyForceFn = std::function<Vec3(const Vec3&)>;\n",
+     set()),
+    ("src/dpd/ok_fn_source.cpp",
+     "#include <functional>\n"
+     "static std::function<void()> g;  // sources are out of scope\n",
+     set()),
+    ("src/other/ok_fn_elsewhere.hpp",
+     "#pragma once\n#include <functional>\n"
+     "using Cb = std::function<void()>;\n",
+     set()),
 ]
 
 

@@ -49,25 +49,36 @@ CgResult cg_solve(const LinearOperator& A, const Vector& b, Vector& x,
     return res;
   }
 
+  // Fused iteration body: the solution update is deferred past the
+  // convergence check and folded into the (r, z) reduction, and the
+  // residual update is folded into the norm it feeds, so one iteration
+  // makes 4 full-vector sweeps (dot, axpy_norm2, axpy_dot, xpay) plus the
+  // operator and preconditioner instead of the previous ~7.
   for (std::size_t it = 1; it <= opt.max_iter; ++it) {
     A(p.data(), Ap.data());
     const double pAp = simd::dot(p.data(), Ap.data(), n);
-    if (pAp <= 0.0) break;  // not SPD / breakdown
+    if (pAp <= 0.0) {  // not SPD / breakdown
+      telemetry::count("cg.breakdowns");
+      // x was never touched this iteration; report the true residual of the
+      // iterate being returned rather than the stale pre-iteration norm.
+      A(x.data(), Ap.data());
+      for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - Ap[i];
+      rnorm = std::sqrt(simd::dot(r.data(), r.data(), n));
+      break;
+    }
     const double alpha = rz / pAp;
-    simd::axpy(alpha, p.data(), x.data(), n);
-    simd::axpy(-alpha, Ap.data(), r.data(), n);
-
-    rnorm = std::sqrt(simd::dot(r.data(), r.data(), n));
+    rnorm = std::sqrt(simd::axpy_norm2(-alpha, Ap.data(), r.data(), n));
     res.iterations = it;
     telemetry::count("cg.iterations");
     telemetry::sample("cg.residual", rnorm);
     if (rnorm <= stop) {
+      simd::axpy(alpha, p.data(), x.data(), n);
       res.converged = true;
       break;
     }
 
     M(r.data(), z.data(), n);
-    const double rz_new = simd::dot(r.data(), z.data(), n);
+    const double rz_new = simd::axpy_dot(alpha, p.data(), x.data(), r.data(), z.data(), n);
     const double beta = rz_new / rz;
     rz = rz_new;
     simd::xpay(z.data(), beta, p.data(), n);  // p = z + beta p
@@ -105,15 +116,17 @@ void SolutionProjector::record(const LinearOperator& A, const Vector& x) {
 
   // A-orthogonalise against the stored basis (modified Gram-Schmidt, done
   // twice: a single pass loses orthogonality exactly in the near-dependent
-  // case that matters here).
+  // case that matters here). Av is carried through the elimination using
+  // the stored images (A basis_k), so the single operator apply above is
+  // the only one: A(v - sum c_k basis_k) = Av - sum c_k images_k.
   for (int pass = 0; pass < 2; ++pass) {
     for (std::size_t k = 0; k < basis_.size(); ++k) {
       if (basis_[k].size() != n) continue;
       const double c = simd::dot(v.data(), images_[k].data(), n);
       simd::axpy(-c, basis_[k].data(), v.data(), n);
+      simd::axpy(-c, images_[k].data(), Av.data(), n);
     }
   }
-  A(v.data(), Av.data());
   const double vAv = simd::dot(v.data(), Av.data(), n);
   // Reject components that are (numerically) inside the stored span: keeping
   // them would normalise round-off noise into a basis vector and poison

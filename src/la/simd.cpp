@@ -286,6 +286,203 @@ void dpd_pair_forces(std::size_t n, double inv_rc, double inv_sqrt_dt, const dou
                          fx, fy, fz);
 }
 
+// --- batched SEM line kernels ------------------------------------------
+
+NO_AUTOVEC
+void lines_apply_scalar(const double* M, std::size_t n1, std::size_t nvec, const double* u,
+                        double* y, const double* colscale, double coef) {
+  for (std::size_t b = 0; b < n1; ++b) {
+    const double* Mb = M + b * n1;
+    double* yb = y + b * nvec;
+    for (std::size_t v = 0; v < nvec; ++v) {
+      double s = 0.0;
+      for (std::size_t m = 0; m < n1; ++m) s += Mb[m] * u[m * nvec + v];
+      yb[v] += coef * (colscale ? colscale[v] : 1.0) * s;
+    }
+  }
+}
+
+void lines_apply_avx2(const double* M, std::size_t n1, std::size_t nvec, const double* u,
+                      double* y, const double* colscale, double coef) {
+  const __m256d vcoef = _mm256_set1_pd(coef);
+  const std::size_t vmain = nvec & ~static_cast<std::size_t>(3);
+  const std::size_t rem = nvec - vmain;
+  // The tail columns are padded once into a 4-wide block shared by every
+  // output row b; padded lanes run the identical fmadd chain (their values
+  // are never copied back), so a column's result is bitwise independent of
+  // where it sits in the batch.
+  alignas(32) double tu[kMaxLineN * 4];
+  alignas(32) double tcs[4] = {0.0, 0.0, 0.0, 0.0};
+  if (rem) {
+    for (std::size_t m = 0; m < n1; ++m)
+      for (std::size_t l = 0; l < 4; ++l)
+        tu[m * 4 + l] = l < rem ? u[m * nvec + vmain + l] : 0.0;
+    for (std::size_t l = 0; l < rem; ++l) tcs[l] = colscale ? colscale[vmain + l] : 1.0;
+  }
+  for (std::size_t b = 0; b < n1; ++b) {
+    const double* Mb = M + b * n1;
+    double* yb = y + b * nvec;
+    for (std::size_t v = 0; v < vmain; v += 4) {
+      __m256d acc = _mm256_setzero_pd();
+      for (std::size_t m = 0; m < n1; ++m)
+        acc = _mm256_fmadd_pd(_mm256_set1_pd(Mb[m]), _mm256_loadu_pd(u + m * nvec + v), acc);
+      const __m256d cs =
+          colscale ? _mm256_mul_pd(vcoef, _mm256_loadu_pd(colscale + v)) : vcoef;
+      _mm256_storeu_pd(yb + v, _mm256_fmadd_pd(cs, acc, _mm256_loadu_pd(yb + v)));
+    }
+    if (rem) {
+      __m256d acc = _mm256_setzero_pd();
+      for (std::size_t m = 0; m < n1; ++m)
+        acc = _mm256_fmadd_pd(_mm256_set1_pd(Mb[m]), _mm256_load_pd(tu + m * 4), acc);
+      const __m256d cs = _mm256_mul_pd(vcoef, _mm256_load_pd(tcs));
+      alignas(32) double ty[4] = {0.0, 0.0, 0.0, 0.0};
+      for (std::size_t l = 0; l < rem; ++l) ty[l] = yb[vmain + l];
+      _mm256_store_pd(ty, _mm256_fmadd_pd(cs, acc, _mm256_load_pd(ty)));
+      for (std::size_t l = 0; l < rem; ++l) yb[vmain + l] = ty[l];
+    }
+  }
+}
+
+void lines_apply(const double* M, std::size_t n1, std::size_t nvec, const double* u, double* y,
+                 const double* colscale, double coef) {
+  static const Isa isa = detect();
+  if (isa == Isa::Avx2 && n1 <= kMaxLineN)
+    return lines_apply_avx2(M, n1, nvec, u, y, colscale, coef);
+  lines_apply_scalar(M, n1, nvec, u, y, colscale, coef);
+}
+
+NO_AUTOVEC
+void lines_apply_t_scalar(const double* MT, std::size_t n1, std::size_t nlines, const double* u,
+                          double* y, const double* rowscale, double coef) {
+  for (std::size_t l = 0; l < nlines; ++l) {
+    const double* ul = u + l * n1;
+    double* yl = y + l * n1;
+    const double c = coef * (rowscale ? rowscale[l] : 1.0);
+    for (std::size_t a = 0; a < n1; ++a) {
+      double s = 0.0;
+      for (std::size_t m = 0; m < n1; ++m) s += ul[m] * MT[m * n1 + a];
+      yl[a] += c * s;
+    }
+  }
+}
+
+void lines_apply_t_avx2(const double* MT, std::size_t n1, std::size_t nlines, const double* u,
+                        double* y, const double* rowscale, double coef) {
+  const std::size_t amain = n1 & ~static_cast<std::size_t>(3);
+  const std::size_t rem = n1 - amain;
+  // padded tail of the transposed matrix, shared by every line
+  alignas(32) double tmt[kMaxLineN * 4];
+  if (rem)
+    for (std::size_t m = 0; m < n1; ++m)
+      for (std::size_t l = 0; l < 4; ++l)
+        tmt[m * 4 + l] = l < rem ? MT[m * n1 + amain + l] : 0.0;
+  for (std::size_t l = 0; l < nlines; ++l) {
+    const double* ul = u + l * n1;
+    double* yl = y + l * n1;
+    const __m256d vc = _mm256_set1_pd(rowscale ? coef * rowscale[l] : coef);
+    for (std::size_t a = 0; a < amain; a += 4) {
+      __m256d acc = _mm256_setzero_pd();
+      for (std::size_t m = 0; m < n1; ++m)
+        acc = _mm256_fmadd_pd(_mm256_set1_pd(ul[m]), _mm256_loadu_pd(MT + m * n1 + a), acc);
+      _mm256_storeu_pd(yl + a, _mm256_fmadd_pd(vc, acc, _mm256_loadu_pd(yl + a)));
+    }
+    if (rem) {
+      __m256d acc = _mm256_setzero_pd();
+      for (std::size_t m = 0; m < n1; ++m)
+        acc = _mm256_fmadd_pd(_mm256_set1_pd(ul[m]), _mm256_load_pd(tmt + m * 4), acc);
+      alignas(32) double ty[4] = {0.0, 0.0, 0.0, 0.0};
+      for (std::size_t q = 0; q < rem; ++q) ty[q] = yl[amain + q];
+      _mm256_store_pd(ty, _mm256_fmadd_pd(vc, acc, _mm256_load_pd(ty)));
+      for (std::size_t q = 0; q < rem; ++q) yl[amain + q] = ty[q];
+    }
+  }
+}
+
+void lines_apply_t(const double* MT, std::size_t n1, std::size_t nlines, const double* u,
+                   double* y, const double* rowscale, double coef) {
+  static const Isa isa = detect();
+  if (isa == Isa::Avx2 && n1 <= kMaxLineN)
+    return lines_apply_t_avx2(MT, n1, nlines, u, y, rowscale, coef);
+  lines_apply_t_scalar(MT, n1, nlines, u, y, rowscale, coef);
+}
+
+// --- fused CG vector passes --------------------------------------------
+
+NO_AUTOVEC
+double axpy_norm2_scalar(double a, const double* x, double* y, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] += a * x[i];
+    s += y[i] * y[i];
+  }
+  return s;
+}
+
+double axpy_norm2_avx2(double a, const double* x, double* y, std::size_t n) {
+  const __m256d av = _mm256_set1_pd(a);
+  __m256d s0 = _mm256_setzero_pd(), s1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d y0 = _mm256_fmadd_pd(av, _mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i));
+    const __m256d y1 =
+        _mm256_fmadd_pd(av, _mm256_loadu_pd(x + i + 4), _mm256_loadu_pd(y + i + 4));
+    _mm256_storeu_pd(y + i, y0);
+    _mm256_storeu_pd(y + i + 4, y1);
+    s0 = _mm256_fmadd_pd(y0, y0, s0);
+    s1 = _mm256_fmadd_pd(y1, y1, s1);
+  }
+  double s = hsum(_mm256_add_pd(s0, s1));
+  for (; i < n; ++i) {
+    y[i] += a * x[i];
+    s += y[i] * y[i];
+  }
+  return s;
+}
+
+double axpy_norm2(double a, const double* x, double* y, std::size_t n) {
+  static const Isa isa = detect();
+  return isa == Isa::Avx2 ? axpy_norm2_avx2(a, x, y, n) : axpy_norm2_scalar(a, x, y, n);
+}
+
+NO_AUTOVEC
+double axpy_dot_scalar(double a, const double* x, double* y, const double* u, const double* v,
+                       std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] += a * x[i];
+    s += u[i] * v[i];
+  }
+  return s;
+}
+
+double axpy_dot_avx2(double a, const double* x, double* y, const double* u, const double* v,
+                     std::size_t n) {
+  const __m256d av = _mm256_set1_pd(a);
+  __m256d s0 = _mm256_setzero_pd(), s1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_pd(y + i,
+                     _mm256_fmadd_pd(av, _mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i)));
+    _mm256_storeu_pd(
+        y + i + 4, _mm256_fmadd_pd(av, _mm256_loadu_pd(x + i + 4), _mm256_loadu_pd(y + i + 4)));
+    s0 = _mm256_fmadd_pd(_mm256_loadu_pd(u + i), _mm256_loadu_pd(v + i), s0);
+    s1 = _mm256_fmadd_pd(_mm256_loadu_pd(u + i + 4), _mm256_loadu_pd(v + i + 4), s1);
+  }
+  double s = hsum(_mm256_add_pd(s0, s1));
+  for (; i < n; ++i) {
+    y[i] += a * x[i];
+    s += u[i] * v[i];
+  }
+  return s;
+}
+
+double axpy_dot(double a, const double* x, double* y, const double* u, const double* v,
+                std::size_t n) {
+  static const Isa isa = detect();
+  return isa == Isa::Avx2 ? axpy_dot_avx2(a, x, y, u, v, n)
+                          : axpy_dot_scalar(a, x, y, u, v, n);
+}
+
 #undef NO_AUTOVEC
 
 }  // namespace la::simd

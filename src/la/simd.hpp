@@ -78,4 +78,72 @@ void dpd_pair_forces_avx2(std::size_t n, double inv_rc, double inv_sqrt_dt, cons
                           const double* a, const double* g, const double* sig, double* fx,
                           double* fy, double* fz);
 
+// --- batched SEM line kernels ------------------------------------------
+//
+// The sum-factorised SEM operators apply one small (P+1)x(P+1) coefficient
+// matrix across every line of an element (or of a whole element batch).
+// Two memory shapes cover all three tensor directions of the (c,b,a)
+// element layout (`a` contiguous):
+//
+//   lines_apply:   the reduction runs across lines (strided); the kernel
+//                  vectorises over the contiguous column index v:
+//                    y[b*nvec + v] += coef * colscale[v]
+//                                     * sum_m M[b*n1 + m] * u[m*nvec + v]
+//                  (y/z passes: columns are (a) or (b,a) flattened).
+//
+//   lines_apply_t: the reduction runs along each contiguous line; the
+//                  kernel broadcasts u and vectorises over the contiguous
+//                  output index a using the transposed matrix:
+//                    y[l*n1 + a] += coef * rowscale[l]
+//                                   * sum_m u[l*n1 + m] * MT[m*n1 + a]
+//                  (x pass: one call covers all (b,c) lines of an element).
+//
+// colscale / rowscale may be nullptr (treated as all-ones; multiplying by
+// 1.0 is exact, so the scaled and unscaled paths agree bitwise). Both
+// kernels accumulate into y; callers zero the output first. Within one ISA
+// path the value written for an output entry is a pure function of its own
+// line/column inputs and the matrix — independent of nvec/nlines and of
+// the entry's position in the batch (AVX2 tails are padded through the
+// same 4-wide body, the lane rule established by dpd_pair_forces) — so
+// re-batching planes or whole elements cannot change results bitwise.
+// The padded-tail scratch caps n1 at kMaxLineN; larger n1 dispatches to
+// the scalar path (P > 23 is far beyond any SEM order used here).
+inline constexpr std::size_t kMaxLineN = 24;
+
+void lines_apply(const double* M, std::size_t n1, std::size_t nvec, const double* u, double* y,
+                 const double* colscale, double coef);
+void lines_apply_scalar(const double* M, std::size_t n1, std::size_t nvec, const double* u,
+                        double* y, const double* colscale, double coef);
+void lines_apply_avx2(const double* M, std::size_t n1, std::size_t nvec, const double* u,
+                      double* y, const double* colscale, double coef);
+
+void lines_apply_t(const double* MT, std::size_t n1, std::size_t nlines, const double* u,
+                   double* y, const double* rowscale, double coef);
+void lines_apply_t_scalar(const double* MT, std::size_t n1, std::size_t nlines, const double* u,
+                          double* y, const double* rowscale, double coef);
+void lines_apply_t_avx2(const double* MT, std::size_t n1, std::size_t nlines, const double* u,
+                        double* y, const double* rowscale, double coef);
+
+// --- fused CG vector passes --------------------------------------------
+//
+// Each CG iteration used to make ~7 separate sweeps over the full-length
+// vectors; these two kernels fuse an update with the reduction that
+// immediately follows it, cutting the sweep count to ~4 (see la/cg.cpp).
+//
+//   axpy_norm2: y += a*x, returns ||y||^2 of the updated y
+//               (residual update fused with the convergence-check norm).
+//   axpy_dot:   y += a*x, returns sum_i u[i]*v[i] over two unrelated
+//               vectors read in the same sweep (solution update fused with
+//               the (r, z) inner product of the preconditioned residual).
+double axpy_norm2(double a, const double* x, double* y, std::size_t n);
+double axpy_norm2_scalar(double a, const double* x, double* y, std::size_t n);
+double axpy_norm2_avx2(double a, const double* x, double* y, std::size_t n);
+
+double axpy_dot(double a, const double* x, double* y, const double* u, const double* v,
+                std::size_t n);
+double axpy_dot_scalar(double a, const double* x, double* y, const double* u, const double* v,
+                       std::size_t n);
+double axpy_dot_avx2(double a, const double* x, double* y, const double* u, const double* v,
+                     std::size_t n);
+
 }  // namespace la::simd

@@ -40,6 +40,13 @@ public:
                      static_cast<std::size_t>(a)];
   }
 
+  /// Element e's slice of the gather/scatter table: nodes_per_element()
+  /// global ids in (b, a) order, `a` fastest. The operator fast paths
+  /// stream through this instead of calling global_node per node.
+  const std::size_t* elem_map(std::size_t e) const {
+    return elem_map_.data() + e * nodes_per_element();
+  }
+
   double node_x(std::size_t g) const { return coords_x_[g]; }
   double node_y(std::size_t g) const { return coords_y_[g]; }
 

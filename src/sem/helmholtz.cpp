@@ -80,19 +80,22 @@ HelmholtzSolver::HelmholtzSolver(const Operators& ops, double lambda, double nu,
       block_chol_.push_back(std::move(A));
     }
     pou_.resize(d.num_nodes());
-    for (std::size_t g = 0; g < d.num_nodes(); ++g)
+    sqrt_pou_.resize(d.num_nodes());
+    for (std::size_t g = 0; g < d.num_nodes(); ++g) {
       pou_[g] = 1.0 / d.node_multiplicity(g);
+      sqrt_pou_[g] = std::sqrt(pou_[g]);
+    }
+    rl_.resize(d.nodes_per_element());
+    zl_.resize(d.nodes_per_element());
   }
 }
 
 void HelmholtzSolver::apply_block_schwarz(const double* r, double* z, std::size_t n) const {
   const auto& d = ops_->disc();
-  const std::size_t npe = d.nodes_per_element();
   for (std::size_t g = 0; g < n; ++g) z[g] = 0.0;
-  la::Vector rl(npe), zl(npe);
   // symmetric weighted additive Schwarz: z = sum_e R^T W^1/2 A_e^-1 W^1/2 R r
-  std::vector<double> sq(n);
-  for (std::size_t g = 0; g < n; ++g) sq[g] = std::sqrt(pou_[g]);
+  la::Vector &rl = rl_, &zl = zl_;
+  const la::Vector& sq = sqrt_pou_;
   for (std::size_t e = 0; e < block_chol_.size(); ++e) {
     // gather weighted residual
     const int P = d.order();

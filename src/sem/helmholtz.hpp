@@ -78,9 +78,13 @@ private:
 
   PreconditionerKind precond_kind_ = PreconditionerKind::Jacobi;
   // BlockSchwarz data: per-element Cholesky factors of the local Helmholtz
-  // blocks, plus the partition-of-unity weights (inverse node multiplicity).
+  // blocks, the partition-of-unity weights (inverse node multiplicity), and
+  // their square roots plus element scratch, precomputed so the per-CG-
+  // iteration apply allocates nothing.
   std::vector<la::DenseMatrix> block_chol_;
   la::Vector pou_;
+  la::Vector sqrt_pou_;
+  mutable la::Vector rl_, zl_;
 };
 
 }  // namespace sem

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "la/simd.hpp"
+#include "telemetry/registry.hpp"
 
 namespace sem {
 
@@ -34,13 +35,24 @@ Discretization3D::Discretization3D(double Lx, double Ly, double Lz, std::size_t 
         if (lk == 0) faces_[4].push_back(g);
         if (lk == lat_nz_ - 1) faces_[5].push_back(g);
       }
+
+  // element -> global gather/scatter table (a fastest), built once so the
+  // operator apply loops never re-derive lattice indices
+  const std::size_t npe = nodes_per_element();
+  elem_map_.resize(num_elements() * npe);
+  for (std::size_t e = 0; e < num_elements(); ++e) {
+    std::size_t idx = e * npe;
+    for (int c = 0; c <= P_; ++c)
+      for (int b = 0; b <= P_; ++b)
+        for (int a = 0; a <= P_; ++a) elem_map_[idx++] = lattice_node(e, a, b, c);
+  }
 }
 
 std::size_t Discretization3D::lattice_id(std::size_t li, std::size_t lj, std::size_t lk) const {
   return (lk * lat_ny_ + lj) * lat_nx_ + li;
 }
 
-std::size_t Discretization3D::global_node(std::size_t e, int a, int b, int c) const {
+std::size_t Discretization3D::lattice_node(std::size_t e, int a, int b, int c) const {
   const auto P = static_cast<std::size_t>(P_);
   const std::size_t i = e % nx_;
   const std::size_t j = (e / nx_) % ny_;
@@ -106,19 +118,15 @@ double Discretization3D::evaluate(const la::Vector& field, double x, double y, d
 }
 
 void Discretization3D::gather(const la::Vector& field, std::size_t e, double* local) const {
-  const int n1 = P_ + 1;
-  std::size_t idx = 0;
-  for (int c = 0; c < n1; ++c)
-    for (int b = 0; b < n1; ++b)
-      for (int a = 0; a < n1; ++a) local[idx++] = field[global_node(e, a, b, c)];
+  const std::size_t npe = nodes_per_element();
+  const std::size_t* map = elem_map_.data() + e * npe;
+  for (std::size_t k = 0; k < npe; ++k) local[k] = field[map[k]];
 }
 
 void Discretization3D::scatter_add(const double* local, std::size_t e, la::Vector& field) const {
-  const int n1 = P_ + 1;
-  std::size_t idx = 0;
-  for (int c = 0; c < n1; ++c)
-    for (int b = 0; b < n1; ++b)
-      for (int a = 0; a < n1; ++a) field[global_node(e, a, b, c)] += local[idx++];
+  const std::size_t npe = nodes_per_element();
+  const std::size_t* map = elem_map_.data() + e * npe;
+  for (std::size_t k = 0; k < npe; ++k) field[map[k]] += local[k];
 }
 
 // ---------------------------------------------------------------------------
@@ -157,9 +165,62 @@ Operators3D::Operators3D(const Discretization3D& d) : d_(&d) {
                       ry_ * ry_ * wa * wc * G_(static_cast<std::size_t>(b), static_cast<std::size_t>(b)) +
                       rz_ * rz_ * wa * wb * G_(static_cast<std::size_t>(c), static_cast<std::size_t>(c)));
         }
+
+  // fast-path tables and scratch
+  GT_ = G_.transposed();
+  DT_ = D.transposed();
+  ww_.resize(n1 * n1);
+  for (std::size_t j = 0; j < n1; ++j)
+    for (std::size_t i = 0; i < n1; ++i) ww_[j * n1 + i] = w[i] * w[j];
+  const std::size_t npe = d.nodes_per_element();
+  lmass_.resize(npe);
+  for (std::size_t c = 0; c < n1; ++c)
+    for (std::size_t b = 0; b < n1; ++b)
+      for (std::size_t a = 0; a < n1; ++a)
+        lmass_[(c * n1 + b) * n1 + a] = jac_ * w[a] * w[b] * w[c];
+  lu_.resize(npe);
+  ly_.resize(npe);
+  ldx_.resize(npe);
+  ldy_.resize(npe);
+  ldz_.resize(npe);
 }
 
 void Operators3D::elem_stiffness(const double* u, double* y) const {
+  const auto n1 = static_cast<std::size_t>(d_->order()) + 1;
+  const auto& w = d_->rule().weights;
+  const double cx = jac_ * rx_ * rx_;
+  const double cy = jac_ * ry_ * ry_;
+  const double cz = jac_ * rz_ * rz_;
+  const std::size_t npe = n1 * n1 * n1;
+  for (std::size_t q = 0; q < npe; ++q) y[q] = 0.0;
+  // x: every (b,c) line of the element in one batched call, row scale wb*wc
+  la::simd::lines_apply_t(GT_.data(), n1, n1 * n1, u, y, ww_.data(), cx);
+  // y: per c-plane, G across the b rows, column scale wa
+  for (std::size_t c = 0; c < n1; ++c)
+    la::simd::lines_apply(G_.data(), n1, n1, u + c * n1 * n1, y + c * n1 * n1, w.data(),
+                          cy * w[c]);
+  // z: whole element as one plane of n1^2 columns, column scale wa*wb
+  la::simd::lines_apply(G_.data(), n1, n1 * n1, u, y, ww_.data(), cz);
+}
+
+void Operators3D::elem_helmholtz(double lambda, double nu, const double* u, double* y) const {
+  const auto n1 = static_cast<std::size_t>(d_->order()) + 1;
+  const auto& w = d_->rule().weights;
+  const double cx = nu * jac_ * rx_ * rx_;
+  const double cy = nu * jac_ * ry_ * ry_;
+  const double cz = nu * jac_ * rz_ * rz_;
+  const std::size_t npe = n1 * n1 * n1;
+  for (std::size_t q = 0; q < npe; ++q) y[q] = 0.0;
+  la::simd::lines_apply_t(GT_.data(), n1, n1 * n1, u, y, ww_.data(), cx);
+  for (std::size_t c = 0; c < n1; ++c)
+    la::simd::lines_apply(G_.data(), n1, n1, u + c * n1 * n1, y + c * n1 * n1, w.data(),
+                          cy * w[c]);
+  la::simd::lines_apply(G_.data(), n1, n1 * n1, u, y, ww_.data(), cz);
+  // lumped mass term folded into the element pass (sums to lambda*M*u)
+  for (std::size_t q = 0; q < npe; ++q) y[q] += lambda * lmass_[q] * u[q];
+}
+
+void Operators3D::elem_stiffness_reference(const double* u, double* y) const {
   const int P = d_->order();
   const auto n1 = static_cast<std::size_t>(P) + 1;
   const auto& w = d_->rule().weights;
@@ -206,20 +267,44 @@ void Operators3D::elem_stiffness(const double* u, double* y) const {
 }
 
 void Operators3D::apply_stiffness(const la::Vector& u, la::Vector& y) const {
+  if (y.size() != u.size()) y.resize(u.size());
+  y.fill(0.0);
+  telemetry::count("sem.apply.stiffness");
+  for (std::size_t e = 0; e < d_->num_elements(); ++e) {
+    d_->gather(u, e, lu_.data());
+    elem_stiffness(lu_.data(), ly_.data());
+    d_->scatter_add(ly_.data(), e, y);
+  }
+}
+
+void Operators3D::apply_stiffness_reference(const la::Vector& u, la::Vector& y) const {
   const std::size_t npe = d_->nodes_per_element();
   if (y.size() != u.size()) y.resize(u.size());
   y.fill(0.0);
+  // lint: sem-alloc-ok (reference baseline keeps the pre-fast-path per-call scratch)
   std::vector<double> lu(npe), ly(npe);
   for (std::size_t e = 0; e < d_->num_elements(); ++e) {
     d_->gather(u, e, lu.data());
-    elem_stiffness(lu.data(), ly.data());
+    elem_stiffness_reference(lu.data(), ly.data());
     d_->scatter_add(ly.data(), e, y);
   }
 }
 
 void Operators3D::apply_helmholtz(double lambda, double nu, const la::Vector& u,
                                   la::Vector& y) const {
-  apply_stiffness(u, y);
+  if (y.size() != u.size()) y.resize(u.size());
+  y.fill(0.0);
+  telemetry::count("sem.apply.helmholtz");
+  for (std::size_t e = 0; e < d_->num_elements(); ++e) {
+    d_->gather(u, e, lu_.data());
+    elem_helmholtz(lambda, nu, lu_.data(), ly_.data());
+    d_->scatter_add(ly_.data(), e, y);
+  }
+}
+
+void Operators3D::apply_helmholtz_reference(double lambda, double nu, const la::Vector& u,
+                                            la::Vector& y) const {
+  apply_stiffness_reference(u, y);
   la::simd::scale(nu, y.data(), y.size());
   for (std::size_t g = 0; g < u.size(); ++g) y[g] += lambda * mass_[g] * u[g];
 }
@@ -231,6 +316,18 @@ la::Vector Operators3D::helmholtz_diag(double lambda, double nu) const {
 }
 
 void Operators3D::elem_derivs(const double* u, double* dx, double* dy, double* dz) const {
+  const auto n1 = static_cast<std::size_t>(d_->order()) + 1;
+  const auto& D = d_->diff_matrix();
+  const std::size_t npe = n1 * n1 * n1;
+  for (std::size_t q = 0; q < npe; ++q) dx[q] = dy[q] = dz[q] = 0.0;
+  la::simd::lines_apply_t(DT_.data(), n1, n1 * n1, u, dx, nullptr, rx_);
+  for (std::size_t c = 0; c < n1; ++c)
+    la::simd::lines_apply(D.data(), n1, n1, u + c * n1 * n1, dy + c * n1 * n1, nullptr, ry_);
+  la::simd::lines_apply(D.data(), n1, n1 * n1, u, dz, nullptr, rz_);
+}
+
+void Operators3D::elem_derivs_reference(const double* u, double* dx, double* dy,
+                                        double* dz) const {
   const int P = d_->order();
   const auto n1 = static_cast<std::size_t>(P) + 1;
   const auto& D = d_->diff_matrix();
@@ -254,17 +351,45 @@ void Operators3D::gradient(const la::Vector& u, la::Vector& ddx, la::Vector& ddy
                            la::Vector& ddz) const {
   const std::size_t n = d_->num_nodes();
   const std::size_t npe = d_->nodes_per_element();
-  const int P = d_->order();
+  for (la::Vector* v : {&ddx, &ddy, &ddz}) {
+    if (v->size() != n) v->resize(n);
+    v->fill(0.0);
+  }
+  for (std::size_t e = 0; e < d_->num_elements(); ++e) {
+    d_->gather(u, e, lu_.data());
+    elem_derivs(lu_.data(), ldx_.data(), ldy_.data(), ldz_.data());
+    for (std::size_t k = 0; k < npe; ++k) {
+      const double m = lmass_[k];
+      ldx_[k] *= m;
+      ldy_[k] *= m;
+      ldz_[k] *= m;
+    }
+    d_->scatter_add(ldx_.data(), e, ddx);
+    d_->scatter_add(ldy_.data(), e, ddy);
+    d_->scatter_add(ldz_.data(), e, ddz);
+  }
+  for (std::size_t g = 0; g < n; ++g) {
+    ddx[g] /= mass_[g];
+    ddy[g] /= mass_[g];
+    ddz[g] /= mass_[g];
+  }
+}
+
+void Operators3D::gradient_reference(const la::Vector& u, la::Vector& ddx, la::Vector& ddy,
+                                     la::Vector& ddz) const {
+  const std::size_t n = d_->num_nodes();
+  const std::size_t npe = d_->nodes_per_element();
   const auto& w = d_->rule().weights;
   for (la::Vector* v : {&ddx, &ddy, &ddz}) {
     if (v->size() != n) v->resize(n);
     v->fill(0.0);
   }
+  // lint: sem-alloc-ok (reference baseline keeps the pre-fast-path per-call scratch)
   std::vector<double> lu(npe), dx(npe), dy(npe), dz(npe);
-  const auto n1 = static_cast<std::size_t>(P) + 1;
+  const auto n1 = static_cast<std::size_t>(d_->order()) + 1;
   for (std::size_t e = 0; e < d_->num_elements(); ++e) {
     d_->gather(u, e, lu.data());
-    elem_derivs(lu.data(), dx.data(), dy.data(), dz.data());
+    elem_derivs_reference(lu.data(), dx.data(), dy.data(), dz.data());
     std::size_t k = 0;
     for (std::size_t c = 0; c < n1; ++c)
       for (std::size_t b = 0; b < n1; ++b)
@@ -287,29 +412,29 @@ void Operators3D::gradient(const la::Vector& u, la::Vector& ddx, la::Vector& ddy
 
 void Operators3D::divergence(const la::Vector& u, const la::Vector& v, const la::Vector& w,
                              la::Vector& div) const {
-  la::Vector ux, uy, uz, vx, vy, vz, wx, wy, wz;
-  gradient(u, ux, uy, uz);
-  gradient(v, vx, vy, vz);
-  gradient(w, wx, wy, wz);
   if (div.size() != u.size()) div.resize(u.size());
-  for (std::size_t g = 0; g < u.size(); ++g) div[g] = ux[g] + vy[g] + wz[g];
+  gradient(u, gx_, gy_, gz_);
+  for (std::size_t g = 0; g < u.size(); ++g) div[g] = gx_[g];
+  gradient(v, gx_, gy_, gz_);
+  for (std::size_t g = 0; g < u.size(); ++g) div[g] += gy_[g];
+  gradient(w, gx_, gy_, gz_);
+  for (std::size_t g = 0; g < u.size(); ++g) div[g] += gz_[g];
 }
 
 void Operators3D::convection(const la::Vector& u, const la::Vector& v, const la::Vector& w,
                              la::Vector& cu, la::Vector& cv, la::Vector& cw) const {
-  la::Vector qx, qy, qz;
   if (cu.size() != u.size()) cu.resize(u.size());
   if (cv.size() != u.size()) cv.resize(u.size());
   if (cw.size() != u.size()) cw.resize(u.size());
-  gradient(u, qx, qy, qz);
+  gradient(u, gx_, gy_, gz_);
   for (std::size_t g = 0; g < u.size(); ++g)
-    cu[g] = u[g] * qx[g] + v[g] * qy[g] + w[g] * qz[g];
-  gradient(v, qx, qy, qz);
+    cu[g] = u[g] * gx_[g] + v[g] * gy_[g] + w[g] * gz_[g];
+  gradient(v, gx_, gy_, gz_);
   for (std::size_t g = 0; g < u.size(); ++g)
-    cv[g] = u[g] * qx[g] + v[g] * qy[g] + w[g] * qz[g];
-  gradient(w, qx, qy, qz);
+    cv[g] = u[g] * gx_[g] + v[g] * gy_[g] + w[g] * gz_[g];
+  gradient(w, gx_, gy_, gz_);
   for (std::size_t g = 0; g < u.size(); ++g)
-    cw[g] = u[g] * qx[g] + v[g] * qy[g] + w[g] * qz[g];
+    cw[g] = u[g] * gx_[g] + v[g] * gy_[g] + w[g] * gz_[g];
 }
 
 double Operators3D::integral(const la::Vector& u) const {

@@ -53,8 +53,23 @@ public:
   double dy() const { return Ly_ / static_cast<double>(ny_); }
   double dz() const { return Lz_ / static_cast<double>(nz_); }
 
-  /// Global node id of element e's local node (a, b, c).
-  std::size_t global_node(std::size_t e, int a, int b, int c) const;
+  /// Global node id of element e's local node (a, b, c). O(1) lookup in the
+  /// precomputed element->global table (built once at construction; the
+  /// arithmetic lattice addressing only runs at build time).
+  std::size_t global_node(std::size_t e, int a, int b, int c) const {
+    return elem_map_[e * nodes_per_element() +
+                     (static_cast<std::size_t>(c) * (static_cast<std::size_t>(P_) + 1) +
+                      static_cast<std::size_t>(b)) *
+                         (static_cast<std::size_t>(P_) + 1) +
+                     static_cast<std::size_t>(a)];
+  }
+
+  /// Element e's slice of the gather/scatter table: nodes_per_element()
+  /// global ids in (c, b, a) order, `a` fastest. The operator fast paths
+  /// stream through this instead of re-deriving lattice indices.
+  const std::size_t* elem_map(std::size_t e) const {
+    return elem_map_.data() + e * nodes_per_element();
+  }
 
   double node_x(std::size_t g) const;
   double node_y(std::size_t g) const;
@@ -73,6 +88,7 @@ public:
 
 private:
   std::size_t lattice_id(std::size_t li, std::size_t lj, std::size_t lk) const;
+  std::size_t lattice_node(std::size_t e, int a, int b, int c) const;
 
   double Lx_, Ly_, Lz_;
   std::size_t nx_, ny_, nz_;
@@ -82,9 +98,18 @@ private:
   std::size_t ncoords_ = 0;
   std::size_t lat_nx_ = 0, lat_ny_ = 0, lat_nz_ = 0;
   std::array<std::vector<std::size_t>, 6> faces_;
+  std::vector<std::size_t> elem_map_;  // e * npe + local -> global (a fastest)
 };
 
 /// Matrix-free 3D operators (sum-factorised tensor kernels).
+///
+/// The apply paths run on the batched `la::simd` line kernels with
+/// per-instance scratch buffers (no allocation and no index arithmetic per
+/// apply); the pre-fast-path implementations are retained as `_reference`
+/// for benchmarking and equivalence tests (bench/extra_sem3d_kernel,
+/// tests/sem3d_test). Scratch makes applies non-reentrant: one Operators3D
+/// instance must not be applied from two threads at once (each xmp rank
+/// owns its solvers, so this never happens in-tree).
 class Operators3D {
 public:
   explicit Operators3D(const Discretization3D& d);
@@ -93,6 +118,9 @@ public:
   const la::Vector& mass_diag() const { return mass_; }
 
   void apply_stiffness(const la::Vector& u, la::Vector& y) const;
+  /// y = lambda M u + nu K u in a single gather/kernel/scatter sweep: the
+  /// diagonal mass term is folded into the element pass (the per-element
+  /// lumped masses sum to the assembled diagonal).
   void apply_helmholtz(double lambda, double nu, const la::Vector& u, la::Vector& y) const;
   la::Vector helmholtz_diag(double lambda, double nu) const;
 
@@ -106,14 +134,32 @@ public:
 
   double integral(const la::Vector& u) const;
 
+  /// Pre-fast-path baselines (scalar strided y/z lines, per-call scratch):
+  /// kept for bench/extra_sem3d_kernel and the equivalence suites.
+  void apply_stiffness_reference(const la::Vector& u, la::Vector& y) const;
+  void apply_helmholtz_reference(double lambda, double nu, const la::Vector& u,
+                                 la::Vector& y) const;
+  void gradient_reference(const la::Vector& u, la::Vector& ddx, la::Vector& ddy,
+                          la::Vector& ddz) const;
+
 private:
   void elem_stiffness(const double* u, double* y) const;
+  void elem_helmholtz(double lambda, double nu, const double* u, double* y) const;
   void elem_derivs(const double* u, double* dx, double* dy, double* dz) const;
+  void elem_stiffness_reference(const double* u, double* y) const;
+  void elem_derivs_reference(const double* u, double* dx, double* dy, double* dz) const;
 
   const Discretization3D* d_;
   la::Vector mass_;
   la::Vector stiff_diag_;
-  la::DenseMatrix G_;  // D^T diag(w) D
+  la::DenseMatrix G_;        // D^T diag(w) D
+  la::DenseMatrix GT_, DT_;  // transposes for the along-line (x) kernels
+  std::vector<double> ww_;     // w[j]*w[i] outer product, i fastest
+  std::vector<double> lmass_;  // per-element lumped mass jac*wa*wb*wc
+  // element scratch, hoisted out of the apply loops (see class comment)
+  mutable std::vector<double> lu_, ly_, ldx_, ldy_, ldz_;
+  // global-field scratch for divergence/convection
+  mutable la::Vector gx_, gy_, gz_;
   double jac_;
   double rx_, ry_, rz_;
 };

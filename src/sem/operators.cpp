@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "la/simd.hpp"
+#include "telemetry/registry.hpp"
 
 namespace sem {
 
@@ -44,9 +45,46 @@ Operators::Operators(const Discretization& d) : d_(&d) {
                                                       static_cast<std::size_t>(b)));
       }
   }
+
+  // fast-path tables and scratch
+  GT_ = G_.transposed();
+  DT_ = D.transposed();
+  const std::size_t npe = d.nodes_per_element();
+  lmass_.resize(npe);
+  for (std::size_t b = 0; b < n1; ++b)
+    for (std::size_t a = 0; a < n1; ++a) lmass_[b * n1 + a] = jac_ * w[a] * w[b];
+  lu_.resize(npe);
+  ly_.resize(npe);
+  ldx_.resize(npe);
+  ldy_.resize(npe);
 }
 
 void Operators::elem_stiffness(const double* u, double* y) const {
+  const std::size_t n1 = static_cast<std::size_t>(d_->order()) + 1;
+  const auto& w = d_->rule().weights;
+  const double cx = jac_ * rx_ * rx_;
+  const double cy = jac_ * ry_ * ry_;
+  for (std::size_t k = 0; k < n1 * n1; ++k) y[k] = 0.0;
+  // x: all rows in one batched call, row scale w_j; y: G down the columns,
+  // column scale w_i
+  la::simd::lines_apply_t(GT_.data(), n1, n1, u, y, w.data(), cx);
+  la::simd::lines_apply(G_.data(), n1, n1, u, y, w.data(), cy);
+}
+
+void Operators::elem_helmholtz(double lambda, double nu, const double* u, double* y) const {
+  const std::size_t n1 = static_cast<std::size_t>(d_->order()) + 1;
+  const auto& w = d_->rule().weights;
+  const double cx = nu * jac_ * rx_ * rx_;
+  const double cy = nu * jac_ * ry_ * ry_;
+  const std::size_t npe = n1 * n1;
+  for (std::size_t k = 0; k < npe; ++k) y[k] = 0.0;
+  la::simd::lines_apply_t(GT_.data(), n1, n1, u, y, w.data(), cx);
+  la::simd::lines_apply(G_.data(), n1, n1, u, y, w.data(), cy);
+  // lumped mass term folded into the element pass (sums to lambda*M*u)
+  for (std::size_t k = 0; k < npe; ++k) y[k] += lambda * lmass_[k] * u[k];
+}
+
+void Operators::elem_stiffness_reference(const double* u, double* y) const {
   const int P = d_->order();
   const std::size_t n1 = static_cast<std::size_t>(P) + 1;
   const auto& w = d_->rule().weights;
@@ -75,6 +113,18 @@ void Operators::elem_stiffness(const double* u, double* y) const {
 
 void Operators::elem_deriv_x(const double* u, double* dudx) const {
   const std::size_t n1 = static_cast<std::size_t>(d_->order()) + 1;
+  for (std::size_t k = 0; k < n1 * n1; ++k) dudx[k] = 0.0;
+  la::simd::lines_apply_t(DT_.data(), n1, n1, u, dudx, nullptr, rx_);
+}
+
+void Operators::elem_deriv_y(const double* u, double* dudy) const {
+  const std::size_t n1 = static_cast<std::size_t>(d_->order()) + 1;
+  for (std::size_t k = 0; k < n1 * n1; ++k) dudy[k] = 0.0;
+  la::simd::lines_apply(d_->diff_matrix().data(), n1, n1, u, dudy, nullptr, ry_);
+}
+
+void Operators::elem_deriv_x_reference(const double* u, double* dudx) const {
+  const std::size_t n1 = static_cast<std::size_t>(d_->order()) + 1;
   const auto& D = d_->diff_matrix();
   for (std::size_t j = 0; j < n1; ++j) {
     const double* uj = u + j * n1;
@@ -83,7 +133,7 @@ void Operators::elem_deriv_x(const double* u, double* dudx) const {
   }
 }
 
-void Operators::elem_deriv_y(const double* u, double* dudy) const {
+void Operators::elem_deriv_y_reference(const double* u, double* dudy) const {
   const std::size_t n1 = static_cast<std::size_t>(d_->order()) + 1;
   const auto& D = d_->diff_matrix();
   for (std::size_t i = 0; i < n1; ++i)
@@ -96,20 +146,44 @@ void Operators::elem_deriv_y(const double* u, double* dudy) const {
 }
 
 void Operators::apply_stiffness(const la::Vector& u, la::Vector& y) const {
+  if (y.size() != u.size()) y.resize(u.size());
+  y.fill(0.0);
+  telemetry::count("sem.apply.stiffness2d");
+  for (std::size_t e = 0; e < d_->num_elements(); ++e) {
+    d_->gather(u, e, lu_.data());
+    elem_stiffness(lu_.data(), ly_.data());
+    d_->scatter_add(ly_.data(), e, y);
+  }
+}
+
+void Operators::apply_stiffness_reference(const la::Vector& u, la::Vector& y) const {
   const std::size_t npe = d_->nodes_per_element();
   if (y.size() != u.size()) y.resize(u.size());
   y.fill(0.0);
+  // lint: sem-alloc-ok (reference baseline keeps the pre-fast-path per-call scratch)
   std::vector<double> lu(npe), ly(npe);
   for (std::size_t e = 0; e < d_->num_elements(); ++e) {
     d_->gather(u, e, lu.data());
-    elem_stiffness(lu.data(), ly.data());
+    elem_stiffness_reference(lu.data(), ly.data());
     d_->scatter_add(ly.data(), e, y);
   }
 }
 
 void Operators::apply_helmholtz(double lambda, double nu, const la::Vector& u,
                                 la::Vector& y) const {
-  apply_stiffness(u, y);
+  if (y.size() != u.size()) y.resize(u.size());
+  y.fill(0.0);
+  telemetry::count("sem.apply.helmholtz2d");
+  for (std::size_t e = 0; e < d_->num_elements(); ++e) {
+    d_->gather(u, e, lu_.data());
+    elem_helmholtz(lambda, nu, lu_.data(), ly_.data());
+    d_->scatter_add(ly_.data(), e, y);
+  }
+}
+
+void Operators::apply_helmholtz_reference(double lambda, double nu, const la::Vector& u,
+                                          la::Vector& y) const {
+  apply_stiffness_reference(u, y);
   la::simd::scale(nu, y.data(), y.size());
   for (std::size_t g = 0; g < u.size(); ++g) y[g] += lambda * mass_[g] * u[g];
 }
@@ -124,18 +198,45 @@ la::Vector Operators::helmholtz_diag(double lambda, double nu) const {
 void Operators::gradient(const la::Vector& u, la::Vector& dudx, la::Vector& dudy) const {
   const std::size_t n = d_->num_nodes();
   const std::size_t npe = d_->nodes_per_element();
+  if (dudx.size() != n) dudx.resize(n);
+  if (dudy.size() != n) dudy.resize(n);
+  dudx.fill(0.0);
+  dudy.fill(0.0);
+  for (std::size_t e = 0; e < d_->num_elements(); ++e) {
+    d_->gather(u, e, lu_.data());
+    elem_deriv_x(lu_.data(), ldx_.data());
+    elem_deriv_y(lu_.data(), ldy_.data());
+    // weight by the local mass before scatter; divide by assembled mass after
+    for (std::size_t k = 0; k < npe; ++k) {
+      const double m = lmass_[k];
+      ldx_[k] *= m;
+      ldy_[k] *= m;
+    }
+    d_->scatter_add(ldx_.data(), e, dudx);
+    d_->scatter_add(ldy_.data(), e, dudy);
+  }
+  for (std::size_t g = 0; g < n; ++g) {
+    dudx[g] /= mass_[g];
+    dudy[g] /= mass_[g];
+  }
+}
+
+void Operators::gradient_reference(const la::Vector& u, la::Vector& dudx,
+                                   la::Vector& dudy) const {
+  const std::size_t n = d_->num_nodes();
+  const std::size_t npe = d_->nodes_per_element();
   const int P = d_->order();
   const auto& w = d_->rule().weights;
   if (dudx.size() != n) dudx.resize(n);
   if (dudy.size() != n) dudy.resize(n);
   dudx.fill(0.0);
   dudy.fill(0.0);
+  // lint: sem-alloc-ok (reference baseline keeps the pre-fast-path per-call scratch)
   std::vector<double> lu(npe), dx(npe), dy(npe);
   for (std::size_t e = 0; e < d_->num_elements(); ++e) {
     d_->gather(u, e, lu.data());
-    elem_deriv_x(lu.data(), dx.data());
-    elem_deriv_y(lu.data(), dy.data());
-    // weight by the local mass before scatter; divide by assembled mass after
+    elem_deriv_x_reference(lu.data(), dx.data());
+    elem_deriv_y_reference(lu.data(), dy.data());
     for (int b = 0; b <= P; ++b)
       for (int a = 0; a <= P; ++a) {
         const std::size_t k = static_cast<std::size_t>(b) * (P + 1) + static_cast<std::size_t>(a);
@@ -153,23 +254,22 @@ void Operators::gradient(const la::Vector& u, la::Vector& dudx, la::Vector& dudy
 }
 
 void Operators::divergence(const la::Vector& u, la::Vector& v, la::Vector& div) const {
-  la::Vector dudx, dudy, dvdx, dvdy;
-  gradient(u, dudx, dudy);
-  gradient(v, dvdx, dvdy);
   if (div.size() != u.size()) div.resize(u.size());
-  for (std::size_t g = 0; g < u.size(); ++g) div[g] = dudx[g] + dvdy[g];
+  gradient(u, gx_, gy_);
+  for (std::size_t g = 0; g < u.size(); ++g) div[g] = gx_[g];
+  gradient(v, gx_, gy_);
+  for (std::size_t g = 0; g < u.size(); ++g) div[g] += gy_[g];
 }
 
 void Operators::convection(const la::Vector& u, const la::Vector& v, la::Vector& conv_u,
                            la::Vector& conv_v) const {
-  la::Vector dudx, dudy, dvdx, dvdy;
-  gradient(u, dudx, dudy);
-  gradient(v, dvdx, dvdy);
+  gradient(u, gx_, gy_);
+  gradient(v, hx_, hy_);
   if (conv_u.size() != u.size()) conv_u.resize(u.size());
   if (conv_v.size() != u.size()) conv_v.resize(u.size());
   for (std::size_t g = 0; g < u.size(); ++g) {
-    conv_u[g] = u[g] * dudx[g] + v[g] * dudy[g];
-    conv_v[g] = u[g] * dvdx[g] + v[g] * dvdy[g];
+    conv_u[g] = u[g] * gx_[g] + v[g] * gy_[g];
+    conv_v[g] = u[g] * hx_[g] + v[g] * hy_[g];
   }
 }
 
@@ -179,9 +279,9 @@ std::vector<double> Operators::wall_shear_stress(const la::Vector& u, const la::
   const int P = d.order();
 
   // nodal gradients of both components (mass-averaged, as in gradient())
-  la::Vector dudx, dudy, dvdx, dvdy;
-  gradient(u, dudx, dudy);
-  gradient(v, dvdx, dvdy);
+  gradient(u, gx_, gy_);
+  gradient(v, hx_, hy_);
+  const la::Vector &dudx = gx_, &dudy = gy_, &dvdx = hx_, &dvdy = hy_;
 
   // face orientation per boundary node of the tag: inward normal (nx, ny)
   // and which velocity component is tangential (0 = u, 1 = v)

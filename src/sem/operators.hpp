@@ -7,11 +7,21 @@
 //   * divergence and convective term for the Navier-Stokes solver.
 // All element work is tensor-product: cost O(P^3) per element per apply.
 
+#include <vector>
+
 #include "la/vector.hpp"
 #include "sem/discretization.hpp"
 
 namespace sem {
 
+/// Matrix-free 2D operators.
+///
+/// The apply paths run on the batched `la::simd` line kernels with
+/// per-instance scratch (no allocation and no per-call index arithmetic);
+/// the pre-fast-path implementations are retained as `_reference` for the
+/// equivalence suites (tests/sem_test). Scratch makes applies non-reentrant:
+/// one Operators instance must not be applied from two threads at once
+/// (each solver owns its Operators, so this never happens in-tree).
 class Operators {
 public:
   explicit Operators(const Discretization& d);
@@ -57,16 +67,33 @@ public:
   /// Discrete integral of the field: 1^T M u.
   double integral(const la::Vector& u) const;
 
+  /// Pre-fast-path baselines (scalar strided y-lines, per-call scratch):
+  /// kept for the equivalence suites.
+  void apply_stiffness_reference(const la::Vector& u, la::Vector& y) const;
+  void apply_helmholtz_reference(double lambda, double nu, const la::Vector& u,
+                                 la::Vector& y) const;
+  void gradient_reference(const la::Vector& u, la::Vector& dudx, la::Vector& dudy) const;
+
 private:
   // element-local kernels; local arrays are (P+1)^2, (b*(P+1)+a) layout
   void elem_stiffness(const double* u, double* y) const;
+  void elem_helmholtz(double lambda, double nu, const double* u, double* y) const;
   void elem_deriv_x(const double* u, double* dudx) const;
   void elem_deriv_y(const double* u, double* dudy) const;
+  void elem_stiffness_reference(const double* u, double* y) const;
+  void elem_deriv_x_reference(const double* u, double* dudx) const;
+  void elem_deriv_y_reference(const double* u, double* dudy) const;
 
   const Discretization* d_;
   la::Vector mass_;
-  la::Vector stiff_diag_;  // assembled diag(K)
-  la::DenseMatrix G_;      // D^T diag(w) D, the 1D weak-derivative kernel
+  la::Vector stiff_diag_;    // assembled diag(K)
+  la::DenseMatrix G_;        // D^T diag(w) D, the 1D weak-derivative kernel
+  la::DenseMatrix GT_, DT_;  // transposes for the along-line (x) kernels
+  std::vector<double> lmass_;  // per-element lumped mass jac*wa*wb
+  // element scratch, hoisted out of the apply loops (see class comment)
+  mutable std::vector<double> lu_, ly_, ldx_, ldy_;
+  // global-field scratch for divergence/convection/wall_shear_stress
+  mutable la::Vector gx_, gy_, hx_, hy_;
   double jac_;             // element Jacobian (dx/2)(dy/2), uniform grid
   double rx_, ry_;         // d(xi)/dx = 2/dx, d(eta)/dy = 2/dy
 };

@@ -157,8 +157,173 @@ TEST(SimdDpdKernel, LaneValueIndependentOfBatchPosition) {
   }
 }
 
+TEST_P(SimdKernels, AxpyNorm2MatchesSeparatePasses) {
+  const std::size_t n = GetParam();
+  const double a = 0.37;
+  auto x = random_vector(n);
+  auto y = random_vector(n);
+  la::Vector yref = y, ysc = y;
+  la::simd::axpy(a, x.data(), yref.data(), n);
+  const double nref = la::simd::dot(yref.data(), yref.data(), n);
+
+  const double nsc = la::simd::axpy_norm2_scalar(a, x.data(), ysc.data(), n);
+  const double nd = la::simd::axpy_norm2(a, x.data(), y.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y[i], yref[i], 1e-14 * (1.0 + std::fabs(yref[i])));
+    EXPECT_NEAR(ysc[i], yref[i], 1e-14 * (1.0 + std::fabs(yref[i])));
+  }
+  EXPECT_NEAR(nd, nref, 1e-12 * (1.0 + nref));
+  EXPECT_NEAR(nsc, nref, 1e-12 * (1.0 + nref));
+}
+
+TEST_P(SimdKernels, AxpyDotMatchesSeparatePasses) {
+  const std::size_t n = GetParam();
+  const double a = -0.81;
+  auto x = random_vector(n);
+  auto y = random_vector(n);
+  auto u = random_vector(n);
+  auto v = random_vector(n);
+  la::Vector yref = y, ysc = y;
+  la::simd::axpy(a, x.data(), yref.data(), n);
+  const double dref = la::simd::dot(u.data(), v.data(), n);
+
+  const double dsc = la::simd::axpy_dot_scalar(a, x.data(), ysc.data(), u.data(), v.data(), n);
+  const double dd = la::simd::axpy_dot(a, x.data(), y.data(), u.data(), v.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y[i], yref[i], 1e-14 * (1.0 + std::fabs(yref[i])));
+    EXPECT_NEAR(ysc[i], yref[i], 1e-14 * (1.0 + std::fabs(yref[i])));
+  }
+  EXPECT_NEAR(dd, dref, 1e-12 * (1.0 + std::fabs(dref)));
+  EXPECT_NEAR(dsc, dref, 1e-12 * (1.0 + std::fabs(dref)));
+}
+
 INSTANTIATE_TEST_SUITE_P(Sizes, SimdKernels,
                          ::testing::Values(0, 1, 3, 4, 7, 8, 15, 64, 1000, 4097));
+
+// ---------------- batched SEM line kernels ----------------
+
+namespace {
+
+// straight-line reference: y[b*nvec+v] += coef*cs[v]*sum_m M[b*n1+m]*u[m*nvec+v]
+void naive_lines_apply(const double* M, std::size_t n1, std::size_t nvec, const double* u,
+                       double* y, const double* cs, double coef) {
+  for (std::size_t b = 0; b < n1; ++b)
+    for (std::size_t v = 0; v < nvec; ++v) {
+      double s = 0.0;
+      for (std::size_t m = 0; m < n1; ++m) s += M[b * n1 + m] * u[m * nvec + v];
+      y[b * nvec + v] += coef * (cs ? cs[v] : 1.0) * s;
+    }
+}
+
+// reference for lines_apply_t: y[l*n1+a] += coef*rs[l]*sum_m u[l*n1+m]*MT[m*n1+a]
+void naive_lines_apply_t(const double* MT, std::size_t n1, std::size_t nlines, const double* u,
+                         double* y, const double* rs, double coef) {
+  for (std::size_t l = 0; l < nlines; ++l)
+    for (std::size_t a = 0; a < n1; ++a) {
+      double s = 0.0;
+      for (std::size_t m = 0; m < n1; ++m) s += u[l * n1 + m] * MT[m * n1 + a];
+      y[l * n1 + a] += coef * (rs ? rs[l] : 1.0) * s;
+    }
+}
+
+}  // namespace
+
+TEST(SimdLineKernels, LinesApplyMatchesNaive) {
+  for (std::size_t n1 : {2u, 4u, 5u, 8u, 9u, 12u}) {
+    for (std::size_t nvec : {1u, 3u, 4u, 5u, 16u, 25u}) {
+      auto M = random_vector(n1 * n1);
+      auto u = random_vector(n1 * nvec);
+      auto cs = random_vector(nvec);
+      la::Vector yref(n1 * nvec, 0.5), ysc(n1 * nvec, 0.5), yd(n1 * nvec, 0.5);
+      naive_lines_apply(M.data(), n1, nvec, u.data(), yref.data(), cs.data(), 1.7);
+      la::simd::lines_apply_scalar(M.data(), n1, nvec, u.data(), ysc.data(), cs.data(), 1.7);
+      la::simd::lines_apply(M.data(), n1, nvec, u.data(), yd.data(), cs.data(), 1.7);
+      for (std::size_t k = 0; k < n1 * nvec; ++k) {
+        EXPECT_NEAR(ysc[k], yref[k], 1e-12 * (1.0 + std::fabs(yref[k])))
+            << "n1=" << n1 << " nvec=" << nvec << " k=" << k;
+        EXPECT_NEAR(yd[k], yref[k], 1e-12 * (1.0 + std::fabs(yref[k])));
+      }
+    }
+  }
+}
+
+TEST(SimdLineKernels, LinesApplyTMatchesNaive) {
+  for (std::size_t n1 : {2u, 4u, 5u, 8u, 9u, 12u}) {
+    for (std::size_t nlines : {1u, 3u, 4u, 5u, 16u, 25u}) {
+      auto MT = random_vector(n1 * n1);
+      auto u = random_vector(n1 * nlines);
+      auto rs = random_vector(nlines);
+      la::Vector yref(n1 * nlines, -0.25), ysc(n1 * nlines, -0.25), yd(n1 * nlines, -0.25);
+      naive_lines_apply_t(MT.data(), n1, nlines, u.data(), yref.data(), rs.data(), 0.9);
+      la::simd::lines_apply_t_scalar(MT.data(), n1, nlines, u.data(), ysc.data(), rs.data(),
+                                     0.9);
+      la::simd::lines_apply_t(MT.data(), n1, nlines, u.data(), yd.data(), rs.data(), 0.9);
+      for (std::size_t k = 0; k < n1 * nlines; ++k) {
+        EXPECT_NEAR(ysc[k], yref[k], 1e-12 * (1.0 + std::fabs(yref[k])))
+            << "n1=" << n1 << " nlines=" << nlines << " k=" << k;
+        EXPECT_NEAR(yd[k], yref[k], 1e-12 * (1.0 + std::fabs(yref[k])));
+      }
+    }
+  }
+}
+
+TEST(SimdLineKernels, NullScaleIsBitwiseIdenticalToOnes) {
+  const std::size_t n1 = 7, nvec = 11;
+  auto M = random_vector(n1 * n1);
+  auto u = random_vector(n1 * nvec);
+  la::Vector ones(nvec, 1.0), lones(n1, 1.0);
+  la::Vector y1(n1 * nvec, 0.0), y2(n1 * nvec, 0.0);
+  la::simd::lines_apply(M.data(), n1, nvec, u.data(), y1.data(), nullptr, 2.5);
+  la::simd::lines_apply(M.data(), n1, nvec, u.data(), y2.data(), ones.data(), 2.5);
+  for (std::size_t k = 0; k < n1 * nvec; ++k) EXPECT_EQ(y1[k], y2[k]);
+
+  la::Vector t1(n1 * n1, 0.0), t2(n1 * n1, 0.0);
+  la::simd::lines_apply_t(M.data(), n1, n1, u.data(), t1.data(), nullptr, 2.5);
+  la::simd::lines_apply_t(M.data(), n1, n1, u.data(), t2.data(), lones.data(), 2.5);
+  for (std::size_t k = 0; k < n1 * n1; ++k) EXPECT_EQ(t1[k], t2[k]);
+}
+
+TEST(SimdLineKernels, ColumnValueIndependentOfBatchPosition) {
+  // re-batching a subset of columns into a narrower call must reproduce the
+  // same outputs bitwise (the AVX2 tail is padded through the full 4-wide
+  // body — the lane rule docs/PERF.md relies on)
+  const std::size_t n1 = 6, nvec = 13;
+  auto M = random_vector(n1 * n1);
+  auto u = random_vector(n1 * nvec);
+  auto cs = random_vector(nvec);
+  la::Vector y(n1 * nvec, 0.0);
+  la::simd::lines_apply(M.data(), n1, nvec, u.data(), y.data(), cs.data(), 1.3);
+
+  for (std::size_t v0 : {0u, 2u, 5u, 9u}) {
+    const std::size_t m = nvec - v0;
+    la::Vector usub(n1 * m), cssub(m), ysub(n1 * m, 0.0);
+    for (std::size_t r = 0; r < n1; ++r)
+      for (std::size_t v = 0; v < m; ++v) usub[r * m + v] = u[r * nvec + v0 + v];
+    for (std::size_t v = 0; v < m; ++v) cssub[v] = cs[v0 + v];
+    la::simd::lines_apply(M.data(), n1, m, usub.data(), ysub.data(), cssub.data(), 1.3);
+    for (std::size_t b = 0; b < n1; ++b)
+      for (std::size_t v = 0; v < m; ++v)
+        EXPECT_EQ(y[b * nvec + v0 + v], ysub[b * m + v]) << "v0=" << v0;
+  }
+}
+
+TEST(SimdLineKernels, LineValueIndependentOfBatchPosition) {
+  const std::size_t n1 = 5, nlines = 14;
+  auto MT = random_vector(n1 * n1);
+  auto u = random_vector(n1 * nlines);
+  auto rs = random_vector(nlines);
+  la::Vector y(n1 * nlines, 0.0);
+  la::simd::lines_apply_t(MT.data(), n1, nlines, u.data(), y.data(), rs.data(), -0.6);
+
+  for (std::size_t l0 : {1u, 4u, 10u, 13u}) {
+    const std::size_t m = nlines - l0;
+    la::Vector ysub(n1 * m, 0.0);
+    la::simd::lines_apply_t(MT.data(), n1, m, u.data() + l0 * n1, ysub.data(),
+                            rs.data() + l0, -0.6);
+    for (std::size_t k = 0; k < n1 * m; ++k)
+      EXPECT_EQ(y[l0 * n1 + k], ysub[k]) << "l0=" << l0;
+  }
+}
 
 // ---------------- Dense ----------------
 

@@ -28,6 +28,15 @@ dpd-no-std-function
     setup-time callbacks (body force, coupling velocity fields) that are
     evaluated at most once per particle, never per pair.
 
+sem-hot-alloc
+    Inside `apply_*` / `elem_*` function bodies under src/sem/, constructing
+    a `std::vector` is a per-apply heap allocation in the operator hot path
+    (the SEM fast path hoists all element scratch into persistent members;
+    see docs/PERF.md). Lines must carry a `// lint: sem-alloc-ok (<reason>)`
+    marker (on the line or the 2 lines above) to opt out — used by the
+    retained `_reference` baselines, which deliberately keep the per-call
+    scratch they are benchmarked against.
+
 pragma-once
     Every header under src/ starts with `#pragma once`.
 
@@ -57,6 +66,9 @@ MEMCPY_OK_RE = re.compile(r"//\s*lint:\s*memcpy-ok")
 NO_TRACE_RE = re.compile(r"//\s*lint:\s*no-trace")
 STD_FUNCTION_RE = re.compile(r"\bstd\s*::\s*function\s*<")
 STD_FUNCTION_OK_RE = re.compile(r"//\s*lint:\s*std-function-ok")
+SEM_HOT_FN_RE = re.compile(r"\b(?:\w+\s*::\s*)?((?:apply_|elem_)\w*)\s*\(")
+STD_VECTOR_CTOR_RE = re.compile(r"\bstd\s*::\s*vector\s*<")
+SEM_ALLOC_OK_RE = re.compile(r"//\s*lint:\s*sem-alloc-ok")
 
 
 class Finding:
@@ -114,6 +126,57 @@ def is_declaration(line: str, name_start: int) -> bool:
     return before[-1].isalnum() or before[-1] in ">&*_,"
 
 
+def sem_hot_ranges(lines: list[str]) -> list[tuple[int, int]]:
+    """Line ranges (inclusive) of `apply_*` / `elem_*` function BODIES.
+
+    A match followed by `;` before any `{` is a declaration or a call and
+    opens no range; a match followed by `{` opens one that ends when the
+    brace depth returns to zero. Brace counting ignores strings/comments,
+    which is fine for the code this gates."""
+    ranges: list[tuple[int, int]] = []
+    n = len(lines)
+    i = 0
+    while i < n:
+        m = SEM_HOT_FN_RE.search(lines[i])
+        if not m:
+            i += 1
+            continue
+        j, pos = i, m.end()
+        opened = False
+        while j < n:
+            stop = None
+            for k in range(pos, len(lines[j])):
+                if lines[j][k] in ";{":
+                    stop = (lines[j][k], k)
+                    break
+            if stop:
+                opened = stop[0] == "{"
+                break
+            j, pos = j + 1, 0
+        if j >= n:
+            break
+        if not opened:
+            i = j + 1
+            continue
+        depth = 0
+        start = j
+        k = stop[1]
+        while j < n:
+            for c in lines[j][k:]:
+                if c == "{":
+                    depth += 1
+                elif c == "}":
+                    depth -= 1
+                    if depth == 0:
+                        ranges.append((start, j))
+                        break
+            if depth == 0:
+                break
+            j, k = j + 1, 0
+        i = j + 1
+    return ranges
+
+
 def lint_file(path: pathlib.Path, repo_root: pathlib.Path) -> list[Finding]:
     rel = str(path.relative_to(repo_root))
     text = path.read_text(encoding="utf-8", errors="replace")
@@ -123,6 +186,21 @@ def lint_file(path: pathlib.Path, repo_root: pathlib.Path) -> list[Finding]:
     in_src = rel.startswith("src/")
     in_xmp = rel.startswith("src/xmp/")
     in_dpd_header = rel.startswith("src/dpd/") and path.suffix == ".hpp"
+    in_sem = rel.startswith("src/sem/")
+
+    if in_sem:
+        for lo, hi in sem_hot_ranges(lines):
+            for i in range(lo, hi + 1):
+                if not STD_VECTOR_CTOR_RE.search(lines[i]):
+                    continue
+                if marker_near(lines, i, SEM_ALLOC_OK_RE, MARKER_BACKWINDOW):
+                    continue
+                findings.append(Finding(
+                    rel, i + 1, "sem-hot-alloc",
+                    "std::vector construction inside an apply_*/elem_* SEM hot "
+                    "path allocates per apply; use the persistent member "
+                    "scratch, or mark a deliberate baseline with `// lint: "
+                    "sem-alloc-ok (<reason>)`"))
 
     if in_src and path.suffix == ".hpp":
         head = [l.strip() for l in lines[:5]]
@@ -256,6 +334,27 @@ SELF_TEST_CASES = [
     ("src/other/ok_fn_elsewhere.hpp",
      "#pragma once\n#include <functional>\n"
      "using Cb = std::function<void()>;\n",
+     set()),
+    ("src/sem/bad_hot_alloc.cpp",
+     "void Ops::apply_stiffness(const V& u, V& y) const {\n"
+     "  std::vector<double> lu(npe), ly(npe);\n"
+     "  for (std::size_t e = 0; e < ne; ++e) {}\n}\n",
+     {"sem-hot-alloc"}),
+    ("src/sem/ok_hot_alloc_marker.cpp",
+     "void Ops::apply_stiffness_reference(const V& u, V& y) const {\n"
+     "  // lint: sem-alloc-ok (reference baseline, not a hot path)\n"
+     "  std::vector<double> lu(npe), ly(npe);\n}\n",
+     set()),
+    ("src/sem/ok_alloc_cold_fn.cpp",
+     "void Ops::build_tables() {\n  std::vector<double> tmp(n);\n}\n",
+     set()),
+    ("src/sem/ok_call_is_not_definition.cpp",
+     "void Solver::solve(V& u) {\n  ops_->apply_helmholtz(l, nu, u, y_);\n"
+     "  std::vector<double> bc(nb);\n}\n",
+     set()),
+    ("src/other/ok_sem_rule_scoped.cpp",
+     "void Ops::apply_stiffness(const V& u, V& y) const {\n"
+     "  std::vector<double> lu(npe);\n}\n",
      set()),
 ]
 

@@ -5,8 +5,13 @@
 // Also reprints the Sec. 4.1 large-run claims: 92.3% at 49,152 -> 122,880
 // cores (16 -> 40 patches, 3072 cores/patch).
 
+// With --ranks=N (plus --sched=fibers etc., see comm_skeleton.hpp) the bench
+// additionally executes the communication skeleton at N real ranks through
+// the xmp runtime and writes BENCH_scaling_table3_weak.json.
+
 #include <cstdio>
 
+#include "comm_skeleton.hpp"
 #include "scaling_model.hpp"
 #include "telemetry/bench_report.hpp"
 
@@ -44,7 +49,9 @@ void run(const scaling::MachineConfig& mc, telemetry::BenchReport& rep) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scaling::ScalingCli cli;
+  if (!scaling::parse_scaling_cli(argc, argv, cli)) return 2;
   std::printf("=== Table 3: weak scaling, multi-patch flow simulation ===\n");
   std::printf("(paper: BG/P 650.67/685.23/703.4 s -> 100/95/92%%;\n");
   std::printf("        XT5  462.3/477.2/505.1 s -> 100/96.9/91.5%%)\n\n");
@@ -64,5 +71,15 @@ int main() {
   std::printf("patches (122,880 cores): weak efficiency %.1f%% (paper: 92.3%%)\n", large_eff_pct);
   rep.meta("large_run_weak_efficiency_pct", large_eff_pct);
   rep.write();
+
+  if (cli.ranks > 0) {
+    scaling::SemPatchConfig pc;
+    const int cpp = std::max(1, cli.ranks / cli.patches);
+    const auto modeled = scaling::sem_step_time(scaling::bgp(), pc, cli.patches, cpp);
+    telemetry::BenchReport mrep("scaling_table3_weak");
+    mrep.meta("bench", std::string("table3_weak_scaling"));
+    scaling::run_measured_scaling(cli, modeled.per_step, mrep);
+    mrep.write();
+  }
   return 0;
 }

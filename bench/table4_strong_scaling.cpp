@@ -2,13 +2,21 @@
 // BlueGene/P — for each patch count (3 / 8 / 16), doubling cores per patch
 // from 1024 to 2048 yields ~75% parallel efficiency in the paper
 // (996.98 -> 650.67 s, 1025.33 -> 685.23 s, 1048.75 -> 703.4 s).
+//
+// With --ranks=N (plus --sched=fibers etc., see comm_skeleton.hpp) the bench
+// additionally *executes* the communication skeleton at N real ranks through
+// the xmp runtime and writes BENCH_scaling_table4_strong.json with measured
+// wall-clock next to the modeled per-step time.
 
 #include <cstdio>
 
+#include "comm_skeleton.hpp"
 #include "scaling_model.hpp"
 #include "telemetry/bench_report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  scaling::ScalingCli cli;
+  if (!scaling::parse_scaling_cli(argc, argv, cli)) return 2;
   std::printf("=== Table 4: strong scaling (BG/P, 4 cores/node) ===\n");
   std::printf("(paper: Np=3 996.98->650.67 (76.6%%), Np=8 1025.33->685.23 (74.8%%),\n");
   std::printf("        Np=16 1048.75->703.4 (74.5%%))\n\n");
@@ -45,5 +53,16 @@ int main() {
     std::printf("\n");
   }
   rep.write();
+
+  if (cli.ranks > 0) {
+    // modeled reference for the same shape: cli.patches patches of
+    // ranks/patches cores each
+    const int cpp = std::max(1, cli.ranks / cli.patches);
+    const auto modeled = scaling::sem_step_time(mc, pc, cli.patches, cpp);
+    telemetry::BenchReport mrep("scaling_table4_strong");
+    mrep.meta("bench", std::string("table4_strong_scaling"));
+    scaling::run_measured_scaling(cli, modeled.per_step, mrep);
+    mrep.write();
+  }
   return 0;
 }

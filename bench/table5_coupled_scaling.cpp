@@ -6,8 +6,13 @@
 // super-linear (BG/P 107% / 102%; XT5 144%) because halving the per-core
 // working set moves it into cache.
 
+// With --ranks=N (plus --sched=fibers etc., see comm_skeleton.hpp) the bench
+// additionally executes the communication skeleton at N real ranks through
+// the xmp runtime and writes BENCH_scaling_table5_coupled.json.
+
 #include <cstdio>
 
+#include "comm_skeleton.hpp"
 #include "scaling_model.hpp"
 #include "telemetry/bench_report.hpp"
 
@@ -43,7 +48,9 @@ void run(const scaling::MachineConfig& mc, const std::vector<int>& cores_list,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scaling::ScalingCli cli;
+  if (!scaling::parse_scaling_cli(argc, argv, cli)) return 2;
   std::printf("=== Table 5: coupled continuum-DPD strong scaling ===\n");
   std::printf("(paper BG/P: 3205.58 / 1399.12 (107%%) / 665.79 (102%%);\n");
   std::printf(" paper XT5:  2193.66 / 762.99 (144%%))\n\n");
@@ -54,5 +61,14 @@ int main() {
   rep.write();
   std::printf("The super-linearity is the cache effect: per-core particle state crosses\n");
   std::printf("the cache-capacity boundary as cores double (see machine::compute_time).\n");
+
+  if (cli.ranks > 0) {
+    scaling::DpdConfig dc;
+    const double modeled = scaling::dpd_step_time(scaling::bgp(), dc, cli.ranks);
+    telemetry::BenchReport mrep("scaling_table5_coupled");
+    mrep.meta("bench", std::string("table5_coupled_scaling"));
+    scaling::run_measured_scaling(cli, modeled, mrep);
+    mrep.write();
+  }
   return 0;
 }

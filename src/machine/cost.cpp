@@ -1,77 +1,67 @@
 #include "machine/cost.hpp"
 
 #include <algorithm>
-#include <array>
 #include <unordered_map>
 
 namespace machine {
 
 double PhaseCostBreakdown::total() const { return link_time + injection_time + latency_time; }
 
-PhaseCostBreakdown phase_cost(const Torus& torus, const std::vector<Message>& phase,
+PhaseCostBreakdown phase_cost(const Topology& topo, const std::vector<Message>& phase,
                               Routing routing, InjectionSchedule sched) {
   PhaseCostBreakdown out;
   if (phase.empty()) return out;
-  const auto& spec = torus.spec();
 
   // --- link contention ---
-  static constexpr std::array<std::array<int, 3>, 3> kAdaptiveOrders = {
-      {{0, 1, 2}, {1, 2, 0}, {2, 0, 1}}};
   std::unordered_map<std::int64_t, double> link_load;
+  std::vector<std::int64_t> keys;
   int max_hops = 0;
   for (const auto& m : phase) {
-    const int a = torus.node_of_rank(m.src_rank);
-    const int b = torus.node_of_rank(m.dst_rank);
+    const int a = topo.node_of_rank(m.src_rank);
+    const int b = topo.node_of_rank(m.dst_rank);
     if (a == b) continue;  // intra-node: memory copy, modeled as free
-    max_hops = std::max(max_hops, torus.hops(a, b));
-    if (routing == Routing::DeterministicXYZ) {
-      for (const Link& l : torus.route(a, b, kAdaptiveOrders[0]))
-        link_load[torus.link_key(l)] += m.bytes;
-    } else {
-      // adaptive: spread the volume over the minimal dimension-order routes
-      for (const auto& order : kAdaptiveOrders)
-        for (const Link& l : torus.route(a, b, order))
-          link_load[torus.link_key(l)] += m.bytes / kAdaptiveOrders.size();
+    max_hops = std::max(max_hops, topo.hops(a, b));
+    // The topology reports how many parallel minimal routes the message is
+    // spread over (1 when deterministic); each carries an equal share.
+    const int ways = topo.route_ways(a, b, routing);
+    for (int w = 0; w < ways; ++w) {
+      keys.clear();
+      topo.append_route(a, b, routing, w, keys);
+      for (const std::int64_t k : keys) link_load[k] += m.bytes / ways;
     }
   }
   double max_link = 0.0;
   for (const auto& [k, v] : link_load) max_link = std::max(max_link, v);
-  out.link_time = max_link / spec.link_bandwidth;
+  out.link_time = max_link / topo.link_bandwidth();
 
   // --- injection serialisation at the source nodes ---
-  // MultiDirection: per (node, first-hop direction) loads drain in parallel.
+  // MultiDirection: loads sharing an injection channel (topology-defined:
+  // first-hop direction on the torus, the single host uplink on fat-tree and
+  // dragonfly) drain serially, distinct channels in parallel.
   // Naive: the node's entire outgoing volume drains serially.
   std::unordered_map<std::int64_t, double> inject;
   std::unordered_map<int, std::size_t> msgs_per_node;
   for (const auto& m : phase) {
-    const int a = torus.node_of_rank(m.src_rank);
-    const int b = torus.node_of_rank(m.dst_rank);
+    const int a = topo.node_of_rank(m.src_rank);
+    const int b = topo.node_of_rank(m.dst_rank);
     if (a == b) continue;
     msgs_per_node[a]++;
     if (sched == InjectionSchedule::MultiDirection) {
-      const auto d = torus.delta(a, b);
-      int dim = 0;
-      for (int k = 0; k < 3; ++k)
-        if (d[k] != 0) {
-          dim = k;
-          break;
-        }
-      const int sign = d[dim] >= 0 ? 1 : -1;
-      inject[torus.link_key(Link{a, dim, sign})] += m.bytes;
+      inject[topo.injection_key(a, b)] += m.bytes;
     } else {
       inject[a] += m.bytes;  // keyed by node only: fully serial
     }
   }
   double max_inject = 0.0;
   for (const auto& [k, v] : inject) max_inject = std::max(max_inject, v);
-  out.injection_time = max_inject / spec.link_bandwidth;
+  out.injection_time = max_inject / topo.link_bandwidth();
 
   // --- latency: deepest route + per-message software overhead on the
   //     busiest node (messages issued back-to-back cost sw_overhead each) ---
   std::size_t max_msgs = 0;
   for (const auto& [n, c] : msgs_per_node) max_msgs = std::max(max_msgs, c);
   out.latency_time =
-      spec.hop_latency * max_hops + spec.sw_overhead * static_cast<double>(max_msgs);
+      topo.hop_latency() * max_hops + topo.sw_overhead() * static_cast<double>(max_msgs);
   return out;
 }
 
@@ -87,7 +77,7 @@ double compute_time(const ComputeSpec& spec, double flops, double working_set_by
   return flops / rate;
 }
 
-double collective_cost(const Torus& torus, const std::vector<int>& participants, double bytes,
+double collective_cost(const Topology& topo, const std::vector<int>& participants, double bytes,
                        CollectiveKind kind, Routing routing) {
   if (participants.size() < 2) return 0.0;
   // binomial tree: level k pairs rank i with rank i + 2^k (indices into the
@@ -99,19 +89,19 @@ double collective_cost(const Torus& torus, const std::vector<int>& participants,
     std::vector<Message> phase;
     for (std::size_t i = 0; i + stride < n; i += 2 * stride)
       phase.push_back({participants[i + stride], participants[i], bytes});
-    total += phase_cost(torus, phase, routing).total();
+    total += phase_cost(topo, phase, routing).total();
   }
   return kind == CollectiveKind::Allreduce ? 2.0 * total : total;
 }
 
-ReplayResult replay_step(const Torus& torus, const ComputeSpec& cspec, const StepSchedule& s,
+ReplayResult replay_step(const Topology& topo, const ComputeSpec& cspec, const StepSchedule& s,
                          Routing routing, InjectionSchedule sched) {
   ReplayResult r;
   for (std::size_t i = 0; i < s.flops.size(); ++i) {
     const double ws = i < s.working_set.size() ? s.working_set[i] : 0.0;
     r.compute_time = std::max(r.compute_time, compute_time(cspec, s.flops[i], ws));
   }
-  for (const auto& phase : s.phases) r.comm_time += phase_cost(torus, phase, routing, sched).total();
+  for (const auto& phase : s.phases) r.comm_time += phase_cost(topo, phase, routing, sched).total();
   return r;
 }
 

@@ -1,21 +1,21 @@
 #pragma once
-// Cost model replaying communication/computation schedules on the modeled
-// torus (see torus.hpp). A *phase* is a set of messages that are all in
-// flight concurrently (e.g., the halo exchange of one CG iteration, or one
-// step of the 3-step inter-patch exchange). Phase time combines
+// Cost model replaying communication/computation schedules on a modeled
+// machine (any Topology — torus, fat-tree, dragonfly). A *phase* is a set of
+// messages that are all in flight concurrently (e.g., the halo exchange of
+// one CG iteration, or one step of the 3-step inter-patch exchange). Phase
+// time combines
 //   * link contention: the most loaded directed link bounds the phase,
-//   * injection: a node's DMA can drive its 6 links concurrently, so a
-//     node's outgoing load is parallel across directions but serial within
-//     one direction (the paper's ">= 6 outstanding messages" schedule);
-//     a naive schedule keeps only one message outstanding, serialising the
-//     node's entire outgoing volume,
+//   * injection: the topology decides how a node's outgoing load parallelises
+//     (the torus DMA drives 6 directions concurrently; a single-NIC cluster
+//     serialises everything on the host uplink); a naive schedule keeps only
+//     one message outstanding, serialising the node's entire outgoing volume,
 //   * latency: per-hop plus per-message software overhead on the critical
 //     path.
 
 #include <cstddef>
 #include <vector>
 
-#include "machine/torus.hpp"
+#include "machine/topology.hpp"
 
 namespace machine {
 
@@ -27,7 +27,7 @@ struct Message {
 
 enum class InjectionSchedule {
   Naive,           ///< one outstanding message per node at a time
-  MultiDirection,  ///< keep all 6 torus directions busy (paper Sec. 3.5)
+  MultiDirection,  ///< keep all injection channels busy (paper Sec. 3.5)
 };
 
 struct PhaseCostBreakdown {
@@ -38,7 +38,7 @@ struct PhaseCostBreakdown {
 };
 
 /// Time for one phase of concurrent messages.
-PhaseCostBreakdown phase_cost(const Torus& torus, const std::vector<Message>& phase,
+PhaseCostBreakdown phase_cost(const Topology& topo, const std::vector<Message>& phase,
                               Routing routing = Routing::DeterministicXYZ,
                               InjectionSchedule sched = InjectionSchedule::MultiDirection);
 
@@ -63,7 +63,7 @@ enum class CollectiveKind {
 };
 
 /// Time for a collective of `bytes` payload over `participants` ranks.
-double collective_cost(const Torus& torus, const std::vector<int>& participants,
+double collective_cost(const Topology& topo, const std::vector<int>& participants,
                        double bytes, CollectiveKind kind,
                        Routing routing = Routing::Adaptive);
 
@@ -84,7 +84,7 @@ struct ReplayResult {
   double total() const { return compute_time + comm_time; }
 };
 
-ReplayResult replay_step(const Torus& torus, const ComputeSpec& cspec, const StepSchedule& s,
+ReplayResult replay_step(const Topology& topo, const ComputeSpec& cspec, const StepSchedule& s,
                          Routing routing = Routing::DeterministicXYZ,
                          InjectionSchedule sched = InjectionSchedule::MultiDirection);
 

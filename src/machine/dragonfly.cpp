@@ -1,0 +1,79 @@
+#include "machine/dragonfly.hpp"
+
+#include <stdexcept>
+
+namespace machine {
+
+Dragonfly::Dragonfly(const DragonflySpec& spec) : spec_(spec) {
+  if (spec.groups <= 0 || spec.routers_per_group <= 0 || spec.hosts_per_router <= 0 ||
+      spec.global_links <= 0 || spec.cores_per_node <= 0)
+    throw std::invalid_argument("Dragonfly: non-positive dimension");
+}
+
+std::int64_t Dragonfly::host_link_key(int node, bool up) const {
+  return static_cast<std::int64_t>(node) * 2 + (up ? 0 : 1);
+}
+
+std::int64_t Dragonfly::local_link_key(int group, int from_router, int to_router) const {
+  const int R = spec_.routers_per_group;
+  const std::int64_t base = static_cast<std::int64_t>(spec_.total_nodes()) * 2;
+  return base + (static_cast<std::int64_t>(group) * R + from_router) * R + to_router;
+}
+
+std::int64_t Dragonfly::global_link_key(int from_group, int to_group, int idx) const {
+  const int R = spec_.routers_per_group;
+  const std::int64_t base = static_cast<std::int64_t>(spec_.total_nodes()) * 2 +
+                            static_cast<std::int64_t>(spec_.groups) * R * R;
+  return base + (static_cast<std::int64_t>(from_group) * spec_.groups + to_group) *
+                    spec_.global_links +
+         idx;
+}
+
+int Dragonfly::hops(int a, int b) const {
+  if (a == b) return 0;
+  const int ra = router_of_node(a), rb = router_of_node(b);
+  if (ra == rb) return 2;  // host up, host down
+  const int ga = group_of_node(a), gb = group_of_node(b);
+  if (ga == gb) return 3;  // host up, one local link, host down
+  // Cross group: hop count of the deterministic route (global link 0) — up
+  // to two extra local hops when the endpoints' routers are not the
+  // attachment routers of that global link.
+  const int att_a = attach_router(ga, gb, 0);
+  const int att_b = attach_router(gb, ga, 0);
+  return 3 + (local_router_of_node(a) != att_a ? 1 : 0) +
+         (local_router_of_node(b) != att_b ? 1 : 0);
+}
+
+int Dragonfly::route_ways(int a, int b, Routing routing) const {
+  if (routing != Routing::Adaptive) return 1;
+  return group_of_node(a) == group_of_node(b) ? 1 : spec_.global_links;
+}
+
+void Dragonfly::append_route(int a, int b, Routing routing, int way,
+                             std::vector<std::int64_t>& keys) const {
+  if (a == b) return;
+  const int ga = group_of_node(a), gb = group_of_node(b);
+  const int lra = local_router_of_node(a), lrb = local_router_of_node(b);
+  keys.push_back(host_link_key(a, /*up=*/true));
+  if (ga == gb) {
+    if (lra != lrb) keys.push_back(local_link_key(ga, lra, lrb));
+  } else {
+    // Deterministic: all traffic for a group pair funnels onto global link 0
+    // (the contention the model must capture); adaptive enumerates the
+    // parallel global links.
+    const int idx = routing == Routing::Adaptive ? way : 0;
+    const int att_a = attach_router(ga, gb, idx);
+    const int att_b = attach_router(gb, ga, idx);
+    if (lra != att_a) keys.push_back(local_link_key(ga, lra, att_a));
+    keys.push_back(global_link_key(ga, gb, idx));
+    if (att_b != lrb) keys.push_back(local_link_key(gb, att_b, lrb));
+  }
+  keys.push_back(host_link_key(b, /*up=*/false));
+}
+
+std::int64_t Dragonfly::injection_key(int a, int /*b*/) const {
+  // One NIC per host: every outgoing message shares the host uplink.
+  return host_link_key(a, /*up=*/true);
+}
+
+}  // namespace machine

@@ -1,0 +1,83 @@
+#pragma once
+// Dragonfly topology for the machine:: cost model.
+//
+// `groups` groups of `routers_per_group` routers; routers within a group are
+// all-to-all connected by local links, each router serves
+// `hosts_per_router` nodes, and every ordered group pair is joined by
+// `global_links` parallel global links. Global link g of pair (ga, gb)
+// attaches at local router (gb + g) % routers_per_group inside ga (and
+// symmetrically at (ga + g) % routers_per_group inside gb), spreading
+// attachment points round-robin the way real dragonflies cable their global
+// channels.
+//
+// Minimal routing is host -> [local] -> global -> [local] -> host:
+//   same router   : 2 hops (host up, host down)
+//   same group    : 3 hops (one local link)
+//   cross group   : 3..5 hops depending on whether source/destination
+//                   routers are the attachment routers.
+// Deterministic routing always takes global link 0 (so group-pair traffic
+// contends on it); adaptive spreads over the `global_links` parallel links.
+// Hosts have a single NIC: all outgoing traffic serialises on the host
+// uplink, like the fat-tree and unlike the torus DMA.
+
+#include "machine/topology.hpp"
+
+namespace machine {
+
+struct DragonflySpec {
+  int groups = 8;
+  int routers_per_group = 4;
+  int hosts_per_router = 4;
+  int global_links = 2;  ///< parallel global links per ordered group pair
+  int cores_per_node = 4;
+
+  double link_bandwidth = 2.0e9;
+  double hop_latency = 300e-9;
+  double sw_overhead = 1.2e-6;
+
+  int total_nodes() const { return groups * routers_per_group * hosts_per_router; }
+  int total_cores() const { return total_nodes() * cores_per_node; }
+};
+
+class Dragonfly : public Topology {
+public:
+  explicit Dragonfly(const DragonflySpec& spec);
+
+  const DragonflySpec& spec() const { return spec_; }
+  int router_of_node(int node) const { return node / spec_.hosts_per_router; }
+  int group_of_node(int node) const { return router_of_node(node) / spec_.routers_per_group; }
+  /// Local (in-group) index of a node's router.
+  int local_router_of_node(int node) const {
+    return router_of_node(node) % spec_.routers_per_group;
+  }
+  /// Local router where global link `idx` from `from_group` to `to_group`
+  /// attaches inside `from_group`.
+  int attach_router(int from_group, int to_group, int idx) const {
+    (void)from_group;
+    return (to_group + idx) % spec_.routers_per_group;
+  }
+
+  /// Directed link keys (stable, disjoint ranges): host access links, then
+  /// in-group local links, then global links.
+  std::int64_t host_link_key(int node, bool up) const;
+  std::int64_t local_link_key(int group, int from_router, int to_router) const;
+  std::int64_t global_link_key(int from_group, int to_group, int idx) const;
+
+  // --- Topology -------------------------------------------------------------
+  const char* kind() const override { return "dragonfly"; }
+  int total_nodes() const override { return spec_.total_nodes(); }
+  int cores_per_node() const override { return spec_.cores_per_node; }
+  double link_bandwidth() const override { return spec_.link_bandwidth; }
+  double hop_latency() const override { return spec_.hop_latency; }
+  double sw_overhead() const override { return spec_.sw_overhead; }
+  int hops(int a, int b) const override;
+  int route_ways(int a, int b, Routing routing) const override;
+  void append_route(int a, int b, Routing routing, int way,
+                    std::vector<std::int64_t>& keys) const override;
+  std::int64_t injection_key(int a, int b) const override;
+
+private:
+  DragonflySpec spec_;
+};
+
+}  // namespace machine

@@ -1,0 +1,52 @@
+#include "machine/fattree.hpp"
+
+#include <stdexcept>
+
+namespace machine {
+
+FatTree::FatTree(const FatTreeSpec& spec) : spec_(spec) {
+  if (spec.leaves <= 0 || spec.hosts_per_leaf <= 0 || spec.uplinks <= 0 ||
+      spec.cores_per_node <= 0)
+    throw std::invalid_argument("FatTree: non-positive dimension");
+}
+
+std::int64_t FatTree::host_link_key(int node, bool up) const {
+  return static_cast<std::int64_t>(node) * 2 + (up ? 0 : 1);
+}
+
+std::int64_t FatTree::trunk_link_key(int leaf, int spine, bool up) const {
+  const std::int64_t base = static_cast<std::int64_t>(spec_.total_nodes()) * 2;
+  return base + (static_cast<std::int64_t>(leaf) * spec_.uplinks + spine) * 2 + (up ? 0 : 1);
+}
+
+int FatTree::hops(int a, int b) const {
+  if (a == b) return 0;
+  return leaf_of_node(a) == leaf_of_node(b) ? 2 : 4;
+}
+
+int FatTree::route_ways(int a, int b, Routing routing) const {
+  if (routing != Routing::Adaptive) return 1;
+  return leaf_of_node(a) == leaf_of_node(b) ? 1 : spec_.uplinks;
+}
+
+void FatTree::append_route(int a, int b, Routing routing, int way,
+                           std::vector<std::int64_t>& keys) const {
+  if (a == b) return;
+  const int la = leaf_of_node(a), lb = leaf_of_node(b);
+  keys.push_back(host_link_key(a, /*up=*/true));
+  if (la != lb) {
+    // Deterministic: static ECMP hash of the leaf pair picks one spine, so
+    // distinct flows can collide on a trunk; adaptive enumerates every spine.
+    const int spine = routing == Routing::Adaptive ? way : (la + lb) % spec_.uplinks;
+    keys.push_back(trunk_link_key(la, spine, /*up=*/true));
+    keys.push_back(trunk_link_key(lb, spine, /*up=*/false));
+  }
+  keys.push_back(host_link_key(b, /*up=*/false));
+}
+
+std::int64_t FatTree::injection_key(int a, int /*b*/) const {
+  // One NIC per host: every outgoing message shares the host uplink.
+  return host_link_key(a, /*up=*/true);
+}
+
+}  // namespace machine

@@ -1,0 +1,63 @@
+#pragma once
+// Two-level fat-tree (leaf/spine) topology for the machine:: cost model.
+//
+// `leaves` edge switches each serve `hosts_per_leaf` nodes; every leaf has
+// one uplink to each of the `uplinks` spine switches, so leaf-to-leaf
+// traffic shares the leaf's uplink trunks — the congestion the model must
+// capture. Deterministic routing hash-picks one spine per leaf pair (the
+// static-ECMP collision case); adaptive routing spreads each message over
+// all `uplinks` parallel paths (perfect ECMP). Hosts have a single NIC, so
+// all of a node's outgoing traffic serialises on its host uplink regardless
+// of injection schedule — unlike the torus' six DMA directions.
+//
+// Hop counts: same node 0, same leaf 2 (host-leaf-host), cross leaf 4
+// (host-leaf-spine-leaf-host).
+
+#include "machine/topology.hpp"
+
+namespace machine {
+
+struct FatTreeSpec {
+  int leaves = 8;
+  int hosts_per_leaf = 16;
+  int uplinks = 4;  ///< spine switches == parallel uplinks per leaf
+  int cores_per_node = 4;
+
+  double link_bandwidth = 1.25e9;  ///< bytes/s (10 GbE-class links)
+  double hop_latency = 500e-9;
+  double sw_overhead = 1.5e-6;
+
+  int total_nodes() const { return leaves * hosts_per_leaf; }
+  int total_cores() const { return total_nodes() * cores_per_node; }
+};
+
+class FatTree : public Topology {
+public:
+  explicit FatTree(const FatTreeSpec& spec);
+
+  const FatTreeSpec& spec() const { return spec_; }
+  int leaf_of_node(int node) const { return node / spec_.hosts_per_leaf; }
+
+  /// Directed link keys (stable, disjoint ranges): host<->leaf access links
+  /// first, then leaf<->spine trunks.
+  std::int64_t host_link_key(int node, bool up) const;
+  std::int64_t trunk_link_key(int leaf, int spine, bool up) const;
+
+  // --- Topology -------------------------------------------------------------
+  const char* kind() const override { return "fattree"; }
+  int total_nodes() const override { return spec_.total_nodes(); }
+  int cores_per_node() const override { return spec_.cores_per_node; }
+  double link_bandwidth() const override { return spec_.link_bandwidth; }
+  double hop_latency() const override { return spec_.hop_latency; }
+  double sw_overhead() const override { return spec_.sw_overhead; }
+  int hops(int a, int b) const override;
+  int route_ways(int a, int b, Routing routing) const override;
+  void append_route(int a, int b, Routing routing, int way,
+                    std::vector<std::int64_t>& keys) const override;
+  std::int64_t injection_key(int a, int b) const override;
+
+private:
+  FatTreeSpec spec_;
+};
+
+}  // namespace machine

@@ -1,0 +1,60 @@
+#pragma once
+// Abstract network topology behind the machine:: cost model.
+//
+// The paper's results come from a BG/P 3D torus, but MCI's topology-aware
+// placement (Table 2) is an algorithm over an abstract network: what matters
+// to the cost model is (a) how many hops a message crosses, (b) which shared
+// links its routes load and how many minimal alternatives spread that load,
+// and (c) which injection resource serialises a node's outgoing traffic.
+// Topology captures exactly that contract, so phase_cost / collective_cost /
+// replay_step (cost.hpp) are generic over the torus (torus.hpp) and the
+// modern fat-tree / dragonfly fabrics (fattree.hpp, dragonfly.hpp) the MCI
+// follow-up work targets.
+
+#include <cstdint>
+#include <vector>
+
+namespace machine {
+
+enum class Routing {
+  DeterministicXYZ,  ///< single fixed minimal route (XYZ order on the torus,
+                     ///< hash-picked uplink / global link elsewhere)
+  Adaptive,          ///< load spread over the minimal route alternatives
+};
+
+class Topology {
+public:
+  virtual ~Topology() = default;
+
+  virtual const char* kind() const = 0;
+  virtual int total_nodes() const = 0;
+  virtual int cores_per_node() const = 0;
+  int total_cores() const { return total_nodes() * cores_per_node(); }
+  /// Block rank->node mapping: consecutive ranks share a node.
+  int node_of_rank(int rank) const { return rank / cores_per_node(); }
+
+  virtual double link_bandwidth() const = 0;  ///< bytes/s per directed link
+  virtual double hop_latency() const = 0;     ///< seconds per hop
+  virtual double sw_overhead() const = 0;     ///< per-message software overhead
+
+  /// Hop count of the deterministic minimal route between two nodes.
+  virtual int hops(int a, int b) const = 0;
+
+  /// Number of minimal route alternatives a->b traffic spreads over under
+  /// `routing` (1 for deterministic routing).
+  virtual int route_ways(int a, int b, Routing routing) const = 0;
+
+  /// Appends the directed-link keys crossed by route alternative
+  /// `way` (0 <= way < route_ways) of an a->b message. Keys are stable
+  /// per-topology identifiers used to accumulate link load.
+  virtual void append_route(int a, int b, Routing routing, int way,
+                            std::vector<std::int64_t>& keys) const = 0;
+
+  /// Key of the injection resource the first hop of an a->b message uses.
+  /// Messages sharing a key serialise at the source even under the
+  /// multi-direction injection schedule (the torus' six DMA directions are
+  /// distinct resources; a fat-tree or dragonfly host has one NIC).
+  virtual std::int64_t injection_key(int a, int b) const = 0;
+};
+
+}  // namespace machine

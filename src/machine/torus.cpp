@@ -65,6 +65,35 @@ std::int64_t Torus::link_key(const Link& l) const {
   return static_cast<std::int64_t>(l.node) * 6 + l.dim * 2 + (l.sign > 0 ? 1 : 0);
 }
 
+namespace {
+// The three cyclic dimension orders adaptive routing spreads load over.
+constexpr std::array<std::array<int, 3>, 3> kAdaptiveOrders = {{{0, 1, 2}, {1, 2, 0}, {2, 0, 1}}};
+}  // namespace
+
+int Torus::route_ways(int /*a*/, int /*b*/, Routing routing) const {
+  return routing == Routing::Adaptive ? static_cast<int>(kAdaptiveOrders.size()) : 1;
+}
+
+void Torus::append_route(int a, int b, Routing routing, int way,
+                         std::vector<std::int64_t>& keys) const {
+  const auto& order =
+      kAdaptiveOrders[routing == Routing::Adaptive ? static_cast<std::size_t>(way) : 0];
+  for (const Link& l : route(a, b, order)) keys.push_back(link_key(l));
+}
+
+std::int64_t Torus::injection_key(int a, int b) const {
+  // First-hop direction under XYZ order: the first dimension with movement.
+  const auto d = delta(a, b);
+  int dim = 0;
+  for (int k = 0; k < 3; ++k)
+    if (d[k] != 0) {
+      dim = k;
+      break;
+    }
+  const int sign = d[dim] >= 0 ? 1 : -1;
+  return link_key(Link{a, dim, sign});
+}
+
 int rack_of_node(const Torus& t, int node, int racks_x, int racks_y, int racks_z) {
   const auto& s = t.spec();
   if (racks_x <= 0 || s.nx % racks_x || racks_y <= 0 || s.ny % racks_y || racks_z <= 0 ||

@@ -5,6 +5,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "xmp/sched/sched.hpp"
+
 namespace telemetry {
 
 namespace {
@@ -99,14 +101,31 @@ struct Registry::Impl {
 Registry::Registry() : impl_(std::make_unique<Impl>()) {}
 Registry::~Registry() = default;
 
+namespace {
+
+std::shared_ptr<Registry> make_registered() {
+  auto r = std::make_shared<Registry>();
+  auto& g = global();
+  std::lock_guard lk(g.mu);
+  g.registries.push_back(r);
+  return r;
+}
+
+}  // namespace
+
 Registry& Registry::local() {
-  thread_local std::shared_ptr<Registry> reg = [] {
-    auto r = std::make_shared<Registry>();
-    auto& g = global();
-    std::lock_guard lk(g.mu);
-    g.registries.push_back(r);
-    return r;
-  }();
+  // Rank-first resolution: under xmp's fiber backend the scheduler exposes a
+  // rank-local slot that migrates with the fiber across worker threads, so
+  // two ranks sharing one worker get distinct registries and one rank
+  // resuming on another worker keeps its own. Plain threads (the reference
+  // backend, benches, main) have no slot and fall back to thread-local
+  // storage exactly as before.
+  if (std::shared_ptr<void>* slot = xmp::sched::rank_local_slot()) {
+    if (!*slot) *slot = make_registered();
+    return *static_cast<Registry*>(slot->get());
+  }
+  // lint: sched-context-ok (fallback for contexts without a rank slot)
+  thread_local std::shared_ptr<Registry> reg = make_registered();
   return *reg;
 }
 

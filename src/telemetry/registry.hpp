@@ -1,13 +1,17 @@
 #pragma once
 // Telemetry core: per-rank scoped phase timers, counters and sample series.
 //
-// The xmp runtime runs each rank on its own std::thread, so the natural
-// per-rank store is thread-local: Registry::local() returns this thread's
-// registry (created on first use and registered in a process-wide list so
+// The per-rank store follows the xmp scheduler's rank context:
+// Registry::local() first asks xmp::sched::rank_local_slot() for the current
+// rank's storage (fiber backend: the slot migrates with the fiber across
+// worker threads, so attribution is per rank, never per OS thread) and only
+// falls back to thread-local storage for plain threads — the reference
+// thread-per-rank backend, benches, tests and main(). Either way the
+// registry is created on first use and registered in a process-wide list so
 // exporters can enumerate every rank after a run finishes — the backing
-// storage outlives the thread). A rank announces its identity once via
-// bind_world_rank(); serial code (benches, tests, main()) simply uses the
-// default rank -1, reported as "main".
+// storage outlives the rank. A rank announces its identity once via
+// bind_world_rank(); serial code simply uses the default rank -1, reported
+// as "main".
 //
 // Phases nest: ScopedPhase("ns2d.step") { ScopedPhase("helmholtz.solve")
 // { ScopedPhase("cg.solve") ... } } builds the hierarchical tree the paper's
@@ -104,7 +108,7 @@ private:
   std::unique_ptr<Impl> impl_;
 };
 
-/// RAII phase timer on the calling thread's registry.
+/// RAII phase timer on the calling rank's registry.
 class ScopedPhase {
 public:
   explicit ScopedPhase(const char* name) : on_(enabled()) {

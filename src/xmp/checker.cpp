@@ -29,13 +29,6 @@ namespace detail {
 
 namespace {
 
-std::uint64_t this_thread_hash() {
-  // 0 is reserved for "unbound"; collisions only weaken detection, they can
-  // never produce a false violation (different hash => different thread).
-  const std::uint64_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
-  return h == 0 ? 1 : h;
-}
-
 const char* kind_name(CollKind k) { return to_string(k); }
 
 bool desc_equal(const CollDesc& a, const CollDesc& b) {
@@ -56,28 +49,28 @@ void print_desc(std::ostringstream& os, const CollDesc& d) {
 }  // namespace
 
 Checker::Checker(RunState* rs, CheckOptions opts)
-    : rs_(rs), opts_(opts), owners_(static_cast<std::size_t>(rs->world_size)),
-      slots_(static_cast<std::size_t>(rs->world_size)) {}
+    : rs_(rs), opts_(opts), slots_(static_cast<std::size_t>(rs->world_size)) {}
 
 Checker::~Checker() { stop_watchdog(); }
 
-// ---- thread affinity --------------------------------------------------------
-
-void Checker::bind_rank_thread(int world_rank) {
-  owners_[static_cast<std::size_t>(world_rank)].store(this_thread_hash(),
-                                                      std::memory_order_release);
-}
+// ---- rank affinity ----------------------------------------------------------
 
 void Checker::check_affinity(const Group& g, int local_rank, const char* op) const {
   if (!opts_.enforce_affinity) return;
+  // Identity comes from the scheduler's rank context, never from the OS
+  // thread: under the fiber backend a rank legally migrates between worker
+  // threads, and a thread-id comparison would fire falsely. A helper thread
+  // spawned by user code has no rank context (current_rank() == -1) and is
+  // caught exactly as before.
   const int w = world_of(g, local_rank);
-  const std::uint64_t owner = owners_[static_cast<std::size_t>(w)].load(std::memory_order_acquire);
-  if (owner == this_thread_hash()) return;
+  const int cur = sched::current_rank();
+  if (cur == w) return;
   std::ostringstream os;
   os << "xmp checked: thread-affinity violation: " << op << " on comm " << g.name()
-     << " used a Comm handle owned by world rank " << w
-     << " from a different thread (Comm handles are thread-affine: only the rank thread that "
-        "created them may use them)";
+     << " used a Comm handle owned by world rank " << w << " from ";
+  if (cur < 0) os << "a thread outside any rank";
+  else os << "world rank " << cur;
+  os << " (Comm handles are rank-affine: only the rank they were created for may use them)";
   throw CheckError(os.str());
 }
 

@@ -39,10 +39,9 @@ public:
 
   const CheckOptions& options() const { return opts_; }
 
-  // -- thread affinity -------------------------------------------------------
-  /// Called once by each rank thread before user code runs.
-  void bind_rank_thread(int world_rank);
-  /// Throws CheckError when the calling thread is not `local_rank`'s owner.
+  // -- rank affinity ---------------------------------------------------------
+  /// Throws CheckError when the calling execution context (fiber or rank
+  /// thread, per sched::current_rank) is not `local_rank`'s owner.
   void check_affinity(const Group& g, int local_rank, const char* op) const;
 
   // -- collective matching ---------------------------------------------------
@@ -92,8 +91,7 @@ private:
 
   RunState* rs_;
   CheckOptions opts_;
-  std::vector<std::atomic<std::uint64_t>> owners_;  // hashed thread ids, 0 = unbound
-  std::vector<Slot> slots_;                         // indexed by world rank
+  std::vector<Slot> slots_;  // indexed by world rank
 
   std::mutex groups_mu_;
   std::vector<std::shared_ptr<Group>> retained_;

@@ -6,6 +6,7 @@
 
 #include "xmp/checker.hpp"
 #include "xmp/detail.hpp"
+#include "xmp/sched/fiber.hpp"
 
 namespace xmp {
 namespace detail {
@@ -95,16 +96,16 @@ std::shared_ptr<void> Group::collective(int rank, const void* ptr, std::size_t b
 #ifdef XMP_CHECKED
     bool registered = false;
 #endif
-    ccv.wait(lk, [&] {
-      if (gen != mygen || rs->aborted.load(std::memory_order_relaxed)) return true;
+    while (gen == mygen && !rs->aborted.load(std::memory_order_relaxed)) {
 #ifdef XMP_CHECKED
+      // Register in the wait-for graph only when actually parking.
       if (rs->checker && !registered) {
         rs->checker->block_collective(*this, rank, desc, mygen, bytes);
         registered = true;
       }
 #endif
-      return false;
-    });
+      ccv.wait(lk);
+    }
 #ifdef XMP_CHECKED
     if (registered) rs->checker->unblock(*this, rank);
 #endif
@@ -137,10 +138,12 @@ void Group::send(int src, int dst, int tag, const void* data, std::size_t bytes)
   // lint: memcpy-ok (destination is the untyped mailbox byte buffer)
   if (bytes) std::memcpy(m.data.data(), data, bytes);
   {
+    // Notify under the mutex: WaitCv::notify_all touches the fiber waiter
+    // list, which the mutex guards.
     std::lock_guard lk(box.mu);
     box.q.push_back(std::move(m));
+    box.cv.notify_all();
   }
-  box.cv.notify_all();
 }
 
 std::vector<std::uint8_t> Group::recv(int me, int src, int tag, int* out_src, int* out_tag) {
@@ -163,9 +166,9 @@ std::vector<std::uint8_t> Group::recv(int me, int src, int tag, int* out_src, in
 #ifdef XMP_CHECKED
   bool registered = false;
 #endif
-  box.cv.wait(lk, [&] {
+  while (true) {
     it = match();
-    if (it != box.q.end() || rs->aborted.load(std::memory_order_relaxed)) return true;
+    if (it != box.q.end() || rs->aborted.load(std::memory_order_relaxed)) break;
 #ifdef XMP_CHECKED
     // Register in the wait-for graph only when actually parking (the fast
     // path where the message is already queued never touches the registry).
@@ -174,8 +177,8 @@ std::vector<std::uint8_t> Group::recv(int me, int src, int tag, int* out_src, in
       registered = true;
     }
 #endif
-    return false;
-  });
+    box.cv.wait(lk);
+  }
 #ifdef XMP_CHECKED
   if (registered) rs->checker->unblock(*this, me);
 #endif
@@ -467,7 +470,7 @@ std::vector<double> Comm::allreduce(std::span<const double> v, Op op) const {
 }
 
 void run(int nranks, const std::function<void(Comm&)>& fn, TraceSink trace,
-         const CheckOptions& check) {
+         const CheckOptions& check, const SchedOptions& sched) {
   if (nranks <= 0) throw std::invalid_argument("xmp: nranks must be positive");
   auto rs = std::make_shared<detail::RunState>();
   rs->world_size = nranks;
@@ -505,26 +508,35 @@ void run(int nranks, const std::function<void(Comm&)>& fn, TraceSink trace,
   std::exception_ptr first_error;
   std::mutex err_mu;
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
-    threads.emplace_back([&, r] {
-#ifdef XMP_CHECKED
-      if (rs->checker) rs->checker->bind_rank_thread(r);
-#endif
-      Comm c(world, r);
-      try {
-        fn(c);
-      } catch (...) {
-        {
-          std::lock_guard lk(err_mu);
-          if (!first_error) first_error = std::current_exception();
-        }
-        rs->abort_all();
+  // Backend-independent rank body: both executors call it with the rank
+  // context (sched::current_rank) already established.
+  auto rank_main = [&](int r) {
+    Comm c(world, r);
+    try {
+      fn(c);
+    } catch (...) {
+      {
+        std::lock_guard lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
       }
-    });
+      rs->abort_all();
+    }
+  };
+
+  if (sched.mode == SchedMode::Fibers) {
+    detail::FiberScheduler fs(sched);
+    fs.run(nranks, rank_main);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      threads.emplace_back([&, r] {
+        sched::detail::set_current_rank(r);
+        rank_main(r);
+      });
+    }
+    for (auto& t : threads) t.join();
   }
-  for (auto& t : threads) t.join();
 #ifdef XMP_CHECKED
   if (rs->checker) rs->checker->stop_watchdog();
 #endif
@@ -555,8 +567,13 @@ void run(int nranks, const std::function<void(Comm&)>& fn, TraceSink trace,
 #endif
 }
 
+void run(int nranks, const std::function<void(Comm&)>& fn, TraceSink trace,
+         const CheckOptions& check) {
+  run(nranks, fn, std::move(trace), check, SchedOptions::from_env());
+}
+
 void run(int nranks, const std::function<void(Comm&)>& fn, TraceSink trace) {
-  run(nranks, fn, std::move(trace), CheckOptions::from_env());
+  run(nranks, fn, std::move(trace), CheckOptions::from_env(), SchedOptions::from_env());
 }
 
 }  // namespace xmp

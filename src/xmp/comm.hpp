@@ -5,8 +5,9 @@
 // algorithm over MPI communicators: the World communicator is split into
 // topology groups (L2), task groups (L3) and interface groups (L4), and all
 // coupling traffic flows point-to-point between group roots. We reproduce
-// that algorithm faithfully on an in-process runtime where each rank is a
-// std::thread:
+// that algorithm faithfully on an in-process runtime where each rank is an
+// OS thread (reference backend) or a cooperatively scheduled fiber
+// (sched/sched.hpp, scaling to 4k-64k ranks in one process):
 //   * communicators with rank/size, collective split (color/key),
 //   * blocking tagged p2p send/recv (any-source supported),
 //   * collectives: barrier, bcast, gather(v), scatter(v), allgather(v),
@@ -35,6 +36,7 @@
 #include <vector>
 
 #include "xmp/check.hpp"
+#include "xmp/sched/sched.hpp"
 
 namespace xmp {
 
@@ -113,8 +115,9 @@ struct RunState;
 }  // namespace detail
 
 /// Rank-local handle to a communicator. Cheap to copy; all copies refer to
-/// the same group. Thread-affine: a Comm must only be used by the rank
-/// (thread) it was created for — checked builds enforce this.
+/// the same group. Rank-affine: a Comm must only be used by the rank
+/// (thread or fiber) it was created for — checked builds enforce this via
+/// the scheduler's rank context (sched::current_rank).
 class Comm {
 public:
   Comm() = default;
@@ -217,7 +220,8 @@ public:
   }
 
 private:
-  friend void run(int, const std::function<void(Comm&)>&, TraceSink, const CheckOptions&);
+  friend void run(int, const std::function<void(Comm&)>&, TraceSink, const CheckOptions&,
+                  const SchedOptions&);
   friend struct detail::Group;
   Comm(std::shared_ptr<detail::Group> g, int rank) : group_(std::move(g)), rank_(rank) {}
 
@@ -380,14 +384,21 @@ std::vector<T> Comm::scatterv(const std::vector<std::vector<T>>& parts, int root
   return out;
 }
 
-/// Launch `nranks` threads, each running fn with its world communicator.
-/// Rethrows the first rank failure after all threads have stopped.
-/// A non-null `trace` sink is installed before any rank thread starts (the
+/// Launch `nranks` ranks, each running fn with its world communicator, and
+/// rethrow the first rank failure after every rank has stopped. `sched`
+/// selects the executor (sched/sched.hpp): SchedMode::Threads runs one OS
+/// thread per rank (the reference backend); SchedMode::Fibers multiplexes
+/// cooperatively scheduled fibers over a worker pool, executing 4k-64k ranks
+/// on a laptop. Semantics are identical under both backends.
+/// A non-null `trace` sink is installed before any rank starts (the
 /// race-free way to observe a run's traffic from its first message) and
 /// stays installed for the whole run unless replaced via Comm::set_trace.
-/// The three-argument overload reads CheckOptions::from_env(), so exporting
-/// XMP_CHECK=1 turns checked mode on for every run in the process (in
-/// XMP_CHECKED builds; see check.hpp and docs/CHECKING.md).
+/// The shorter overloads read CheckOptions::from_env() and/or
+/// SchedOptions::from_env(), so exporting XMP_CHECK=1 or XMP_SCHED=fibers
+/// switches every run in the process (see check.hpp, docs/CHECKING.md and
+/// docs/SCHED.md).
+void run(int nranks, const std::function<void(Comm&)>& fn, TraceSink trace,
+         const CheckOptions& check, const SchedOptions& sched);
 void run(int nranks, const std::function<void(Comm&)>& fn, TraceSink trace,
          const CheckOptions& check);
 void run(int nranks, const std::function<void(Comm&)>& fn, TraceSink trace = nullptr);

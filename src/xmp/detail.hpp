@@ -18,6 +18,22 @@
 namespace xmp::detail {
 
 class Checker;
+struct Fiber;
+
+/// Backend-agnostic wait channel: the runtime's blocking points park here.
+/// Thread-ranks sleep on the condition variable; fiber-ranks register in the
+/// waiter list and yield into their scheduler (sched/fiber.hpp), making
+/// every blocking point a yield point. Both wait() and notify_all() require
+/// the mutex guarding the surrounding predicate to be held — unlike a bare
+/// condition_variable, notify_all() mutates the waiter list.
+struct WaitCv {
+  std::condition_variable cv;
+  std::vector<Fiber*> waiters;
+
+  /// One park; returns after any wake. Callers loop on their predicate.
+  void wait(std::unique_lock<std::mutex>& lk);
+  void notify_all();
+};
 
 struct Message {
   int src;  // group-local source rank
@@ -27,7 +43,7 @@ struct Message {
 
 struct Mailbox {
   std::mutex mu;
-  std::condition_variable cv;
+  WaitCv cv;
   std::deque<Message> q;
 };
 
@@ -67,7 +83,7 @@ struct Group : std::enable_shared_from_this<Group> {
 
   // one-shot-combine collective slot
   std::mutex cmu;
-  std::condition_variable ccv;
+  WaitCv ccv;
   int arrived = 0;
   std::uint64_t gen = 0;
   std::vector<std::pair<const void*, std::size_t>> inputs;

@@ -1,0 +1,52 @@
+#include "xmp/sched/sched.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace xmp {
+
+SchedOptions SchedOptions::from_env() {
+  SchedOptions o;
+  if (const char* v = std::getenv("XMP_SCHED")) {
+    const std::string s = v;
+    if (s == "fibers" || s == "fiber") o.mode = SchedMode::Fibers;
+    else if (s == "threads" || s == "thread" || s.empty()) o.mode = SchedMode::Threads;
+    else throw std::invalid_argument("xmp: XMP_SCHED must be 'threads' or 'fibers', got '" + s + "'");
+  }
+  if (const char* v = std::getenv("XMP_SCHED_WORKERS")) o.workers = std::atoi(v);
+  if (const char* v = std::getenv("XMP_SCHED_STACK_KB")) o.stack_kb = std::atoi(v);
+  if (const char* v = std::getenv("XMP_SCHED_GUARD")) o.guard_pages = v[0] != '\0' && v[0] != '0';
+  return o;
+}
+
+const char* to_string(SchedMode m) {
+  switch (m) {
+    case SchedMode::Threads: return "threads";
+    case SchedMode::Fibers: return "fibers";
+  }
+  return "?";
+}
+
+namespace sched {
+
+namespace {
+// The one place rank identity is allowed to live in a thread-local: the
+// fiber scheduler rewrites both on every fiber switch, so they track the
+// rank, not the OS thread.
+// lint: sched-context-ok (this is the scheduler context itself)
+thread_local int tl_current_rank = -1;
+// lint: sched-context-ok (this is the scheduler context itself)
+thread_local std::shared_ptr<void>* tl_rank_slot = nullptr;
+}  // namespace
+
+int current_rank() noexcept { return tl_current_rank; }
+std::shared_ptr<void>* rank_local_slot() noexcept { return tl_rank_slot; }
+
+namespace detail {
+void set_current_rank(int r) noexcept { tl_current_rank = r; }
+void set_rank_local_slot(std::shared_ptr<void>* slot) noexcept { tl_rank_slot = slot; }
+}  // namespace detail
+
+}  // namespace sched
+}  // namespace xmp

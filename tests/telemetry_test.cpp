@@ -314,6 +314,44 @@ TEST(TelemetryCommMatrix, AnalyticThreeStepExchange) {
   EXPECT_NE(js.find("\"total_messages\":10"), std::string::npos);
 }
 
+TEST(TelemetryRegistry, FiberRanksSharingOneWorkerDoNotCrossContaminate) {
+  // Two fiber ranks multiplexed on a single worker thread: every barrier
+  // parks one rank and dispatches the other on the SAME OS thread, so any
+  // thread-keyed attribution would mix their counters and phase trees. The
+  // registry must resolve through the scheduler's rank context instead.
+  telemetry::Registry::reset_all();
+  xmp::SchedOptions sched;
+  sched.mode = xmp::SchedMode::Fibers;
+  sched.workers = 1;
+  std::map<std::string, telemetry::CounterValue> counters[2];
+  telemetry::PhaseNode phases[2];
+  xmp::run(
+      2,
+      [&](xmp::Comm& world) {
+        const int r = world.rank();
+        telemetry::Registry::local().bind_world_rank(r);
+        for (int i = 0; i < 10; ++i) {
+          telemetry::ScopedPhase step(r == 0 ? "rank0_step" : "rank1_step");
+          telemetry::Registry::local().counter_add("mine", r == 0 ? 1.0 : 100.0);
+          world.barrier();  // yield mid-phase: the other rank runs on this thread
+        }
+        counters[r] = telemetry::Registry::local().counters();
+        phases[r] = telemetry::Registry::local().phases();
+      },
+      nullptr, xmp::CheckOptions{}, sched);
+
+  EXPECT_DOUBLE_EQ(counters[0]["mine"].value, 10.0);
+  EXPECT_EQ(counters[0]["mine"].count, 10u);
+  EXPECT_DOUBLE_EQ(counters[1]["mine"].value, 1000.0);
+  EXPECT_EQ(counters[1]["mine"].count, 10u);
+  // each rank's phase tree holds only its own phase, entered 10 times
+  for (int r = 0; r < 2; ++r) {
+    ASSERT_EQ(phases[r].children.size(), 1u) << "rank " << r;
+    EXPECT_EQ(phases[r].children[0].name, r == 0 ? "rank0_step" : "rank1_step");
+    EXPECT_EQ(phases[r].children[0].count, 10u);
+  }
+}
+
 // ---------------- JSON emitter hygiene ----------------
 // Telemetry JSON ends up in external consumers (Chrome tracing, CI parsers):
 // control characters must be escaped and non-finite doubles must not produce

@@ -1,0 +1,327 @@
+// Tests for the fiber scheduling backend (src/xmp/sched/): the full xmp
+// surface — p2p, collectives, hierarchical splits, abort propagation and
+// checked mode — must behave identically when ranks are cooperatively
+// scheduled fibers multiplexed over a small worker pool, including when
+// thousands of ranks share two workers and when a fiber migrates between
+// workers across yield points. Also covers SchedOptions env parsing and
+// bitwise scheduler determinism with a single worker.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "xmp/comm.hpp"
+
+namespace {
+
+xmp::SchedOptions fibers(int workers = 2, int stack_kb = 256) {
+  xmp::SchedOptions o;
+  o.mode = xmp::SchedMode::Fibers;
+  o.workers = workers;
+  o.stack_kb = stack_kb;
+  return o;
+}
+
+void run_fibers(int nranks, const std::function<void(xmp::Comm&)>& fn,
+                const xmp::SchedOptions& opts = fibers()) {
+  xmp::run(nranks, fn, nullptr, xmp::CheckOptions{}, opts);
+}
+
+xmp::CheckOptions checked(int stall_ms = 120000) {
+  xmp::CheckOptions o;
+  o.enabled = true;
+  o.poll_interval = std::chrono::milliseconds(5);
+  o.stall_timeout = std::chrono::milliseconds(stall_ms);
+  return o;
+}
+
+#define SKIP_UNLESS_CHECKED() \
+  if (!xmp::checked_available()) GTEST_SKIP() << "built without XMP_CHECKED"
+
+TEST(XmpSched, RankContextMatchesCommRank) {
+  EXPECT_EQ(xmp::sched::current_rank(), -1);  // test main thread is no rank
+  run_fibers(8, [](xmp::Comm& world) {
+    EXPECT_EQ(xmp::sched::current_rank(), world.rank());
+    world.barrier();
+    EXPECT_EQ(xmp::sched::current_rank(), world.rank());  // survives a yield
+  });
+  EXPECT_EQ(xmp::sched::current_rank(), -1);
+}
+
+TEST(XmpSched, PingPongAndAnySource) {
+  run_fibers(5, [](xmp::Comm& world) {
+    if (world.rank() == 0) {
+      std::set<int> seen;
+      for (int i = 0; i < 4; ++i) {
+        int src = -1;
+        auto v = world.recv<int>(xmp::kAnySource, 3, &src);
+        EXPECT_EQ(v[0], src * 10);
+        seen.insert(src);
+      }
+      EXPECT_EQ(seen.size(), 4u);
+      for (int r = 1; r < 5; ++r) world.send(r, 4, std::vector<int>{r});
+    } else {
+      world.send(0, 3, std::vector<int>{world.rank() * 10});
+      auto v = world.recv<int>(0, 4);
+      EXPECT_EQ(v[0], world.rank());
+    }
+  });
+}
+
+TEST(XmpSched, CollectiveSuiteMatchesExpectedValues) {
+  const int n = 16;
+  run_fibers(n, [&](xmp::Comm& world) {
+    // allreduce
+    EXPECT_DOUBLE_EQ(world.allreduce(double(world.rank()), xmp::Op::Sum), n * (n - 1) / 2.0);
+    EXPECT_EQ(world.allreduce(std::int64_t(world.rank()), xmp::Op::Max), n - 1);
+    // bcast
+    std::vector<int> data;
+    if (world.rank() == 3) data = {7, 8, 9};
+    world.bcast(data, 3);
+    ASSERT_EQ(data.size(), 3u);
+    EXPECT_EQ(data[2], 9);
+    // gatherv of rank-dependent lengths
+    std::vector<int> mine(static_cast<std::size_t>(world.rank() % 3 + 1), world.rank());
+    std::vector<std::size_t> counts;
+    auto gathered = world.gatherv(std::span<const int>(mine), 0, &counts);
+    if (world.rank() == 0) {
+      ASSERT_EQ(counts.size(), static_cast<std::size_t>(n));
+      std::size_t total = 0;
+      for (int r = 0; r < n; ++r) total += static_cast<std::size_t>(r % 3 + 1);
+      EXPECT_EQ(gathered.size(), total);
+    } else {
+      EXPECT_TRUE(gathered.empty());
+    }
+    // allgatherv
+    auto all = world.allgatherv(std::span<const int>(mine));
+    std::size_t total = 0;
+    for (int r = 0; r < n; ++r) total += static_cast<std::size_t>(r % 3 + 1);
+    EXPECT_EQ(all.size(), total);
+    // scatterv
+    std::vector<std::vector<int>> parts;
+    if (world.rank() == 1) {
+      parts.resize(static_cast<std::size_t>(n));
+      for (int r = 0; r < n; ++r) parts[static_cast<std::size_t>(r)] = {r * 2};
+    }
+    auto part = world.scatterv(parts, 1);
+    ASSERT_EQ(part.size(), 1u);
+    EXPECT_EQ(part[0], world.rank() * 2);
+    world.barrier();
+  });
+}
+
+TEST(XmpSched, HierarchicalSplit) {
+  run_fibers(12, [](xmp::Comm& world) {
+    // L2: three groups of four; L3: evens/odds inside each group.
+    xmp::Comm l2 = world.split(world.rank() / 4, world.rank());
+    ASSERT_TRUE(l2.valid());
+    EXPECT_EQ(l2.size(), 4);
+    EXPECT_EQ(l2.rank(), world.rank() % 4);
+    xmp::Comm l3 = l2.split(l2.rank() % 2, l2.rank());
+    EXPECT_EQ(l3.size(), 2);
+    const double s = l3.allreduce(double(world.rank()), xmp::Op::Sum);
+    // partner in l3 is +/-2 world ranks away inside the same group of 4
+    const int partner = world.rank() % 4 < 2 ? world.rank() + 2 : world.rank() - 2;
+    EXPECT_DOUBLE_EQ(s, double(world.rank() + partner));
+  });
+}
+
+TEST(XmpSched, ManyRanksFewWorkersBlockAndResume) {
+  // 64 ranks on one worker: every blocking point must yield, or this hangs.
+  run_fibers(
+      64,
+      [](xmp::Comm& world) {
+        for (int i = 0; i < 5; ++i) {
+          const int next = (world.rank() + 1) % world.size();
+          const int prev = (world.rank() + world.size() - 1) % world.size();
+          world.send(next, i, std::vector<int>{world.rank()});
+          auto v = world.recv<int>(prev, i);
+          EXPECT_EQ(v[0], prev);
+          world.barrier();
+        }
+      },
+      fibers(/*workers=*/1, /*stack_kb=*/128));
+}
+
+TEST(XmpSched, AbortPropagatesAcrossFibers) {
+  EXPECT_THROW(run_fibers(8,
+                          [](xmp::Comm& world) {
+                            if (world.rank() == 3) throw std::logic_error("rank 3 failed");
+                            // everyone else blocks on a message that never comes
+                            (void)world.recv<int>(3, 1);
+                          }),
+               std::logic_error);
+}
+
+TEST(XmpSched, FourThousandRankAllreduceAndSplitSmoke) {
+  const int n = 4096;
+  std::atomic<int> ran{0};
+  run_fibers(
+      n,
+      [&](xmp::Comm& world) {
+        const double sum = world.allreduce(1.0, xmp::Op::Sum);
+        EXPECT_DOUBLE_EQ(sum, double(n));
+        xmp::Comm sub = world.split(world.rank() % 8, world.rank());
+        EXPECT_EQ(sub.size(), n / 8);
+        const std::int64_t c = sub.allreduce(std::int64_t{1}, xmp::Op::Sum);
+        EXPECT_EQ(c, n / 8);
+        world.barrier();
+        ran.fetch_add(1, std::memory_order_relaxed);
+      },
+      fibers(/*workers=*/2, /*stack_kb=*/128));
+  EXPECT_EQ(ran.load(), n);
+}
+
+// One worker => a single FIFO dispatch order => two identical runs must
+// produce identical traffic, event for event (the property docs/SCHED.md
+// promises for debugging runs).
+TEST(XmpSched, SingleWorkerSchedulingIsDeterministic) {
+  using Event = std::tuple<int, int, std::size_t, int, int>;
+  auto collect = [] {
+    std::vector<Event> events;
+    std::mutex mu;
+    xmp::TraceSink sink = [&](const xmp::TraceEvent& e) {
+      std::lock_guard<std::mutex> g(mu);
+      events.emplace_back(e.src_world, e.dst_world, e.bytes, e.tag, int(e.kind));
+    };
+    xmp::run(
+        16,
+        [](xmp::Comm& world) {
+          // any-source recv makes nondeterministic schedules visible
+          if (world.rank() == 0) {
+            for (int i = 0; i < 15; ++i) (void)world.recv<int>(xmp::kAnySource, 1);
+          } else {
+            world.send(0, 1, std::vector<int>{world.rank()});
+          }
+          world.allreduce(1.0, xmp::Op::Sum);
+          xmp::Comm sub = world.split(world.rank() % 2, world.rank());
+          sub.allreduce(std::int64_t{1}, xmp::Op::Sum);
+        },
+        sink, xmp::CheckOptions{}, fibers(/*workers=*/1));
+    return events;
+  };
+  const auto a = collect();
+  const auto b = collect();
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(XmpSched, FromEnvParsesModeWorkersAndStack) {
+  setenv("XMP_SCHED", "fibers", 1);
+  setenv("XMP_SCHED_WORKERS", "3", 1);
+  setenv("XMP_SCHED_STACK_KB", "512", 1);
+  setenv("XMP_SCHED_GUARD", "0", 1);
+  auto o = xmp::SchedOptions::from_env();
+  EXPECT_EQ(o.mode, xmp::SchedMode::Fibers);
+  EXPECT_EQ(o.workers, 3);
+  EXPECT_EQ(o.stack_kb, 512);
+  EXPECT_FALSE(o.guard_pages);
+
+  setenv("XMP_SCHED", "threads", 1);
+  unsetenv("XMP_SCHED_WORKERS");
+  unsetenv("XMP_SCHED_STACK_KB");
+  unsetenv("XMP_SCHED_GUARD");
+  o = xmp::SchedOptions::from_env();
+  EXPECT_EQ(o.mode, xmp::SchedMode::Threads);
+  EXPECT_EQ(o.workers, 0);
+  EXPECT_TRUE(o.guard_pages);
+
+  setenv("XMP_SCHED", "bogus", 1);
+  EXPECT_THROW(xmp::SchedOptions::from_env(), std::invalid_argument);
+  unsetenv("XMP_SCHED");
+}
+
+// --- checked mode under the fiber backend -----------------------------------
+
+TEST(XmpSched, CheckedFiberMigrationDoesNotTripAffinity) {
+  SKIP_UNLESS_CHECKED();
+  // Many barriers over two workers: fibers park and resume on whichever
+  // worker is free, so a rank's OS thread changes constantly. The affinity
+  // checker must key on the scheduler's rank context, not the thread.
+  xmp::run(
+      8,
+      [](xmp::Comm& world) {
+        xmp::Comm sub = world.split(world.rank() % 2, world.rank());
+        for (int i = 0; i < 50; ++i) {
+          world.barrier();
+          sub.allreduce(1.0, xmp::Op::Sum);
+        }
+      },
+      nullptr, checked(), fibers(/*workers=*/2));
+}
+
+TEST(XmpSched, CheckedMismatchCaughtUnderFibers) {
+  SKIP_UNLESS_CHECKED();
+  try {
+    xmp::run(
+        2,
+        [](xmp::Comm& world) {
+          if (world.rank() == 0)
+            world.barrier();
+          else
+            world.allreduce(1.0, xmp::Op::Sum);
+        },
+        nullptr, checked(), fibers());
+    FAIL() << "expected xmp::CheckError";
+  } catch (const xmp::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("collective mismatch"), std::string::npos) << e.what();
+  }
+}
+
+TEST(XmpSched, CheckedDeadlockCaughtUnderFibers) {
+  SKIP_UNLESS_CHECKED();
+  try {
+    xmp::run(
+        2,
+        [](xmp::Comm& world) {
+          const int peer = 1 - world.rank();
+          (void)world.recv<double>(peer, 7 + world.rank());
+        },
+        nullptr, checked(), fibers());
+    FAIL() << "expected xmp::CheckError";
+  } catch (const xmp::CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("deadlock detected"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("wait-for cycle"), std::string::npos) << msg;
+  }
+}
+
+TEST(XmpSched, CheckedHelperThreadStillCaughtUnderFibers) {
+  SKIP_UNLESS_CHECKED();
+  // A raw std::thread spawned inside a fiber rank has no rank context and
+  // must still be rejected as an affinity violation.
+  std::atomic<int> violations{0};
+  xmp::run(
+      2,
+      [&](xmp::Comm& world) {
+        if (world.rank() == 0) {
+          std::thread helper([&] {
+            try {
+              world.send(1, 1, std::vector<int>{7});
+            } catch (const xmp::CheckError& e) {
+              if (std::string(e.what()).find("thread-affinity violation") != std::string::npos)
+                violations.fetch_add(1);
+            }
+          });
+          helper.join();
+          world.send(1, 1, std::vector<int>{42});
+        } else {
+          auto v = world.recv<int>(0, 1);
+          EXPECT_EQ(v[0], 42);
+        }
+      },
+      nullptr, checked(), fibers());
+  EXPECT_EQ(violations.load(), 1);
+}
+
+}  // namespace

@@ -37,6 +37,15 @@ sem-hot-alloc
     retained `_reference` baselines, which deliberately keep the per-call
     scratch they are benchmarked against.
 
+sched-context
+    Rank-visible code (src/xmp/, src/telemetry/) must not introduce raw
+    `thread_local` state or call `std::this_thread::get_id`: with the fiber
+    backend (src/xmp/sched/) a rank migrates between OS threads at every
+    blocking point, so thread identity is NOT rank identity. Use
+    xmp::sched::current_rank() / rank_local_slot() instead. The scheduler's
+    own context variables opt out with a `// lint: sched-context-ok
+    (<reason>)` marker on the line or within 2 lines above.
+
 pragma-once
     Every header under src/ starts with `#pragma once`.
 
@@ -69,6 +78,8 @@ STD_FUNCTION_OK_RE = re.compile(r"//\s*lint:\s*std-function-ok")
 SEM_HOT_FN_RE = re.compile(r"\b(?:\w+\s*::\s*)?((?:apply_|elem_)\w*)\s*\(")
 STD_VECTOR_CTOR_RE = re.compile(r"\bstd\s*::\s*vector\s*<")
 SEM_ALLOC_OK_RE = re.compile(r"//\s*lint:\s*sem-alloc-ok")
+THREAD_IDENTITY_RE = re.compile(r"\bthread_local\b|\bstd\s*::\s*this_thread\s*::\s*get_id\b")
+SCHED_CONTEXT_OK_RE = re.compile(r"//\s*lint:\s*sched-context-ok")
 
 
 class Finding:
@@ -187,6 +198,7 @@ def lint_file(path: pathlib.Path, repo_root: pathlib.Path) -> list[Finding]:
     in_xmp = rel.startswith("src/xmp/")
     in_dpd_header = rel.startswith("src/dpd/") and path.suffix == ".hpp"
     in_sem = rel.startswith("src/sem/")
+    in_rank_visible = in_xmp or rel.startswith("src/telemetry/")
 
     if in_sem:
         for lo, hi in sem_hot_ranges(lines):
@@ -227,6 +239,16 @@ def lint_file(path: pathlib.Path, repo_root: pathlib.Path) -> list[Finding]:
                     rel, i + 1, "memcpy-divisibility",
                     "memcpy with a non-sizeof byte count needs a preceding `% sizeof` "
                     "divisibility check or a `// lint: memcpy-ok (<reason>)` marker"))
+
+        if in_rank_visible and THREAD_IDENTITY_RE.search(line.split("//")[0]):
+            if not marker_near(lines, i, SCHED_CONTEXT_OK_RE, MARKER_BACKWINDOW):
+                findings.append(Finding(
+                    rel, i + 1, "sched-context",
+                    "thread_local / this_thread::get_id in rank-visible code: "
+                    "fiber ranks migrate between OS threads, so thread identity "
+                    "is not rank identity; use xmp::sched::current_rank() / "
+                    "rank_local_slot(), or mark scheduler-internal state with "
+                    "`// lint: sched-context-ok (<reason>)`"))
 
         if in_dpd_header and STD_FUNCTION_RE.search(line):
             if not marker_near(lines, i, STD_FUNCTION_OK_RE, MARKER_BACKWINDOW):
@@ -355,6 +377,22 @@ SELF_TEST_CASES = [
     ("src/other/ok_sem_rule_scoped.cpp",
      "void Ops::apply_stiffness(const V& u, V& y) const {\n"
      "  std::vector<double> lu(npe);\n}\n",
+     set()),
+    ("src/xmp/bad_thread_local.cpp",
+     "thread_local int cached_rank = -1;\n",
+     {"sched-context"}),
+    ("src/telemetry/bad_get_id.cpp",
+     "void f() {\n  auto id = std::this_thread::get_id();\n}\n",
+     {"sched-context"}),
+    ("src/xmp/ok_thread_local_marker.cpp",
+     "// lint: sched-context-ok (scheduler-internal worker state)\n"
+     "thread_local Worker* tl_worker = nullptr;\n",
+     set()),
+    ("src/telemetry/ok_get_id_comment.cpp",
+     "// never key on std::this_thread::get_id() here\nint f();\n",
+     set()),
+    ("src/other/ok_thread_local_elsewhere.cpp",
+     "thread_local int scratch = 0;\n",
      set()),
 ]
 

@@ -4,9 +4,14 @@
 // folding. Prints the continuum and atomistic velocity profiles across the
 // gap, plus the wall-normal profile agreement.
 //
+// The whole run is described by a scenario (docs/SCENARIOS.md): with no
+// --scenario flag the built-in coupled3d preset runs (identical to
+// examples/scenarios/coupled3d.json).
+//
 // Run: ./build/examples/coupled3d
 //
-// Checkpoint/restart (see docs/RESILIENCE.md):
+// Flags (see docs/RESILIENCE.md for checkpoint/restart):
+//   --scenario FILE          run a scenario JSON file instead of the preset
 //   --intervals N            coupling intervals to run (default 25)
 //   --checkpoint-every K     save a checkpoint every K intervals
 //   --checkpoint-dir DIR     where checkpoints go (default ./coupled3d-ckpt)
@@ -15,150 +20,68 @@
 //                            (bitwise restart-equivalence checks)
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 
-#include "coupling/cdc3d.hpp"
-#include "dpd/geometry.hpp"
-#include "dpd/inflow.hpp"
-#include "dpd/sampling.hpp"
-#include "dpd/system.hpp"
-#include "resilience/checkpoint.hpp"
-#include "resilience/snapshot.hpp"
-#include "sem/ns3d.hpp"
+#include "scenario/flags.hpp"
+#include "scenario/presets.hpp"
+#include "scenario/runner.hpp"
 
 int main(int argc, char** argv) {
-  int intervals = 25;
-  int checkpoint_every = 0;
-  std::string checkpoint_dir = "coupled3d-ckpt";
+  int intervals = -1;
+  int checkpoint_every = -1;
+  std::string checkpoint_dir;
   std::string restart_dir;
+  std::string scenario_file;
   bool digest = false;
-  for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--intervals") && i + 1 < argc)
-      intervals = std::atoi(argv[++i]);
-    else if (!std::strcmp(argv[i], "--checkpoint-every") && i + 1 < argc)
-      checkpoint_every = std::atoi(argv[++i]);
-    else if (!std::strcmp(argv[i], "--checkpoint-dir") && i + 1 < argc)
-      checkpoint_dir = argv[++i];
-    else if (!std::strcmp(argv[i], "--restart") && i + 1 < argc)
-      restart_dir = argv[++i];
-    else if (!std::strcmp(argv[i], "--digest"))
-      digest = true;
-    else {
-      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
-      return 2;
-    }
-  }
-  const bool restarting = !restart_dir.empty();
+  scenario::Flags flags("coupled3d");
+  flags.add_string("--scenario", &scenario_file, "scenario JSON file (default: built-in preset)");
+  flags.add_int("--intervals", &intervals, "coupling intervals to run");
+  flags.add_int("--checkpoint-every", &checkpoint_every, "save a checkpoint every K intervals");
+  flags.add_string("--checkpoint-dir", &checkpoint_dir, "where checkpoints go");
+  flags.add_string("--restart", &restart_dir, "resume from a checkpoint directory");
+  flags.add_flag("--digest", &digest, "print a CRC32 digest of the final state");
+  if (!flags.parse(argc, argv)) return 2;
 
   std::printf("Fully 3D coupled simulation: SEM hexahedra + DPD box\n\n");
 
-  const double H = 1.0, Umax = 1.0, nu = 0.05;
-  sem::Discretization3D d(4.0, 1.0, H, 4, 1, 2, 4);
-  sem::NavierStokes3D::Params prm;
-  prm.nu = nu;
-  prm.dt = 2e-3;
-  prm.time_order = 2;
-  prm.pressure_dirichlet_faces = {sem::HexFace::X1};
-  sem::NavierStokes3D ns(d, prm);
-  auto prof = [&](double, double, double z, double) {
-    return 4.0 * Umax * z * (H - z) / (H * H);
-  };
-  auto zero = [](double, double, double, double) { return 0.0; };
-  ns.set_velocity_bc(sem::HexFace::X0, prof, zero, zero);
-  ns.set_velocity_bc(sem::HexFace::Y0, prof, zero, zero);
-  ns.set_velocity_bc(sem::HexFace::Y1, prof, zero, zero);
-  ns.set_natural_bc(sem::HexFace::X1);
-  if (!restarting) {
-    std::printf("continuum: %zu hexahedral SEM nodes, developing...\n", d.num_nodes());
-    for (int s = 0; s < 300; ++s) ns.step();
+  scenario::Scenario sc;
+  try {
+    sc = scenario_file.empty() ? scenario::coupled3d_preset()
+                               : scenario::load_scenario_file(scenario_file);
+  } catch (const scenario::JsonError& e) {
+    std::fprintf(stderr, "scenario error: %s\n", e.what());
+    return 2;
   }
 
-  dpd::DpdParams dp;
-  dp.box = {16.0, 6.0, 10.0};
-  dp.periodic = {false, true, false};
-  dp.dt = 0.01;
-  dpd::DpdSystem sys(dp, std::make_shared<dpd::ChannelZ>(10.0));
-  if (!restarting) {
-    sys.fill(3.0, dpd::kSolvent, 7, 0.1);
-    std::printf("atomistic: %zu DPD particles\n\n", sys.size());
-  }
-  dpd::FlowBcParams fp;
-  fp.axis = 0;
-  fp.relax = 0.3;
-  dpd::FlowBc bc(fp);
+  scenario::RunnerOptions opts;
+  opts.restart_dir = restart_dir;
+  opts.intervals = intervals;
+  opts.checkpoint_every = checkpoint_every;
+  opts.checkpoint_dir = checkpoint_dir;
+  opts.verbose = true;
 
-  coupling::ScaleMap scales;
-  scales.L_ns = H;
-  scales.L_dpd = 10.0;
-  scales.nu_ns = nu;
-  scales.nu_dpd = 2.5;
-  coupling::TimeProgression tp;
-  tp.dt_ns = prm.dt;
-  tp.exchange_every_ns = 2;
-  tp.dpd_per_ns = 10;
-  coupling::EmbeddedBox box{1.5, 2.5, 0.25, 0.75, 0.0, 1.0};
-  coupling::ContinuumDpdCoupler3D cdc(ns, sys, bc, box, scales, tp);
-
-  dpd::SamplerParams sp;
-  sp.nx = 1;
-  sp.ny = 1;
-  sp.nz = 10;
-  dpd::FieldSampler sampler(sys, sp);
-
-  resilience::CheckpointCoordinator coord;
-  coord.add("ns3d", ns);
-  coord.add("dpd", sys);
-  coord.add("flowbc", bc);
-  coord.add("cdc3d", cdc);
-  coord.add("sampler", sampler);
-
-  int start_interval = 0;
-  if (restarting) {
-    try {
-      const auto info = coord.load(restart_dir);
-      start_interval = static_cast<int>(info.step);
-    } catch (const resilience::SnapshotError& e) {
-      std::fprintf(stderr, "restart failed: %s\n", e.what());
-      return 1;
-    }
-    std::printf("restarted from %s: interval %d, t_ns = %.4f, %zu DPD particles\n\n",
-                restart_dir.c_str(), start_interval, ns.time(), sys.size());
-  }
-
-  for (int interval = start_interval; interval < intervals; ++interval) {
-    cdc.advance_interval([&] {
-      if (interval >= 15) sampler.accumulate(sys);
-    });
-    if (checkpoint_every > 0 && (interval + 1) % checkpoint_every == 0 &&
-        interval + 1 < intervals) {
-      const std::string dir = checkpoint_dir + "/step-" + std::to_string(interval + 1);
-      const std::size_t bytes =
-          coord.save(dir, static_cast<std::uint64_t>(interval + 1), ns.time());
-      std::printf("checkpoint: %s (%zu bytes)\n", dir.c_str(), bytes);
-    }
+  scenario::Runner runner(sc, opts);
+  scenario::RunResult res;
+  try {
+    res = runner.run();
+  } catch (const resilience::SnapshotError& e) {
+    std::fprintf(stderr, "restart failed: %s\n", e.what());
+    return 1;
   }
 
   if (digest) {
-    resilience::BlobWriter w;
-    ns.save_state(w);
-    sys.save_state(w);
-    bc.save_state(w);
-    cdc.save_state(w);
-    sampler.save_state(w);
-    std::printf("STATE_DIGEST %08x\n", resilience::crc32(w.data()));
+    std::printf("STATE_DIGEST %08x\n", res.digest);
     return 0;
   }
 
-  auto profile = sampler.snapshot();
+  auto profile = runner.sampler().snapshot();
   std::printf("%-8s %-14s %-16s\n", "z (NS)", "u continuum", "u DPD (scaled back)");
   for (std::size_t b = 0; b < profile.size(); ++b) {
     const double z = (static_cast<double>(b) + 0.5) / static_cast<double>(profile.size());
-    std::printf("%-8.2f %-14.4f %-16.4f\n", z, d.evaluate(ns.u(), 2.0, 0.5, z),
-                scales.velocity_dpd_to_ns(profile[b]));
+    std::printf("%-8.2f %-14.4f %-16.4f\n", z, runner.eval_u(2.0, 0.5, z),
+                runner.scales().velocity_dpd_to_ns(profile[b]));
   }
   std::printf("\n%zu exchanges; all three velocity components coupled (v, w ~ 0)\n",
-              cdc.exchanges());
+              runner.exchanges());
   return 0;
 }

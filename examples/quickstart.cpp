@@ -6,9 +6,15 @@
 // solver advances with the Fig. 5 schedule. At the end we print the two
 // velocity profiles side by side so you can see the coupling at work.
 //
+// The whole run is described by a scenario (docs/SCENARIOS.md): with no
+// --scenario flag the built-in quickstart preset runs (identical to
+// examples/scenarios/quickstart.json), so this main is only flag parsing,
+// scenario loading, and the profile printout.
+//
 // Build & run:  cmake --build build && ./build/examples/quickstart
 //
-// Checkpoint/restart (see docs/RESILIENCE.md):
+// Flags (see docs/RESILIENCE.md for checkpoint/restart):
+//   --scenario FILE          run a scenario JSON file instead of the preset
 //   --intervals N            coupling intervals to run (default 20)
 //   --checkpoint-every K     save a checkpoint every K intervals
 //   --checkpoint-dir DIR     where checkpoints go (default ./quickstart-ckpt)
@@ -17,156 +23,74 @@
 //                            (bitwise restart-equivalence checks)
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 
-#include "coupling/cdc.hpp"
-#include "dpd/geometry.hpp"
-#include "dpd/inflow.hpp"
-#include "dpd/sampling.hpp"
-#include "dpd/system.hpp"
-#include "mesh/quadmesh.hpp"
-#include "resilience/checkpoint.hpp"
-#include "resilience/snapshot.hpp"
-#include "sem/ns2d.hpp"
+#include "scenario/flags.hpp"
+#include "scenario/presets.hpp"
+#include "scenario/runner.hpp"
 
 int main(int argc, char** argv) {
-  int intervals = 20;
-  int checkpoint_every = 0;
-  std::string checkpoint_dir = "quickstart-ckpt";
+  int intervals = -1;
+  int checkpoint_every = -1;
+  std::string checkpoint_dir;
   std::string restart_dir;
+  std::string scenario_file;
   bool digest = false;
-  for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--intervals") && i + 1 < argc)
-      intervals = std::atoi(argv[++i]);
-    else if (!std::strcmp(argv[i], "--checkpoint-every") && i + 1 < argc)
-      checkpoint_every = std::atoi(argv[++i]);
-    else if (!std::strcmp(argv[i], "--checkpoint-dir") && i + 1 < argc)
-      checkpoint_dir = argv[++i];
-    else if (!std::strcmp(argv[i], "--restart") && i + 1 < argc)
-      restart_dir = argv[++i];
-    else if (!std::strcmp(argv[i], "--digest"))
-      digest = true;
-    else {
-      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
-      return 2;
-    }
-  }
-  const bool restarting = !restart_dir.empty();
+  scenario::Flags flags("quickstart");
+  flags.add_string("--scenario", &scenario_file, "scenario JSON file (default: built-in preset)");
+  flags.add_int("--intervals", &intervals, "coupling intervals to run");
+  flags.add_int("--checkpoint-every", &checkpoint_every, "save a checkpoint every K intervals");
+  flags.add_string("--checkpoint-dir", &checkpoint_dir, "where checkpoints go");
+  flags.add_string("--restart", &restart_dir, "resume from a checkpoint directory");
+  flags.add_flag("--digest", &digest, "print a CRC32 digest of the final state");
+  if (!flags.parse(argc, argv)) return 2;
 
   std::printf("NektarG quickstart: continuum channel + embedded DPD box\n\n");
 
-  // --- 1. the continuum solver (macrovascular scale) ---
-  auto mesh = mesh::QuadMesh::channel(/*L=*/4.0, /*H=*/1.0, /*nx=*/8, /*ny=*/2);
-  sem::Discretization disc(mesh, /*order=*/4);
-  sem::NavierStokes2D::Params nsp;
-  nsp.nu = 0.05;
-  nsp.dt = 2e-3;
-  sem::NavierStokes2D ns(disc, nsp);
-  ns.set_velocity_bc(mesh::kInlet,
-                     [](double, double y, double) { return 4.0 * y * (1.0 - y); },
-                     [](double, double, double) { return 0.0; });
-  ns.set_natural_bc(mesh::kOutlet);
-  if (!restarting) {
-    std::printf("continuum: %zu SEM nodes, developing the flow...\n", disc.num_nodes());
-    for (int s = 0; s < 300; ++s) ns.step();
+  scenario::Scenario sc;
+  try {
+    sc = scenario_file.empty() ? scenario::quickstart_preset()
+                               : scenario::load_scenario_file(scenario_file);
+  } catch (const scenario::JsonError& e) {
+    std::fprintf(stderr, "scenario error: %s\n", e.what());
+    return 2;
   }
 
-  // --- 2. the atomistic solver (mesovascular scale) ---
-  dpd::DpdParams dp;
-  dp.box = {16.0, 6.0, 10.0};
-  dp.periodic = {false, true, false};
-  dp.dt = 0.01;
-  dpd::DpdSystem sys(dp, std::make_shared<dpd::ChannelZ>(10.0));
-  if (!restarting) {
-    sys.fill(/*density=*/3.0, dpd::kSolvent, /*seed=*/7, /*margin=*/0.1);
-    std::printf("atomistic: %zu DPD particles\n\n", sys.size());
-  }
+  scenario::RunnerOptions opts;
+  opts.restart_dir = restart_dir;
+  opts.intervals = intervals;
+  opts.checkpoint_every = checkpoint_every;
+  opts.checkpoint_dir = checkpoint_dir;
+  opts.verbose = true;
 
-  dpd::FlowBcParams fp;
-  fp.axis = 0;
-  fp.buffer_len = 2.0;
-  fp.density = 3.0;
-  fp.relax = 0.3;
-  dpd::FlowBc bc(fp);
-
-  // --- 3. glue them: unit scaling (Eq. 1) + Fig. 5 time progression ---
-  coupling::ScaleMap scales;
-  scales.L_ns = 1.0;    // channel height in NS units
-  scales.L_dpd = 10.0;  // the same height in DPD units
-  scales.nu_ns = nsp.nu;
-  scales.nu_dpd = 2.5;
-  coupling::TimeProgression tp;
-  tp.dt_ns = nsp.dt;
-  tp.exchange_every_ns = 2;
-  tp.dpd_per_ns = 10;
-  coupling::ContinuumDpdCoupler cdc(ns, sys, bc, /*region=*/{1.5, 2.5, 0.0, 1.0}, scales, tp);
-
-  dpd::SamplerParams sp;
-  sp.nx = 1;
-  sp.ny = 1;
-  sp.nz = 10;
-  dpd::FieldSampler sampler(sys, sp);
-
-  // --- checkpoint wiring: every stateful object registers by name ---
-  resilience::CheckpointCoordinator coord;
-  coord.add("ns2d", ns);
-  coord.add("dpd", sys);
-  coord.add("flowbc", bc);
-  coord.add("cdc", cdc);
-  coord.add("sampler", sampler);
-
-  int start_interval = 0;
-  if (restarting) {
-    try {
-      const auto info = coord.load(restart_dir);
-      start_interval = static_cast<int>(info.step);
-    } catch (const resilience::SnapshotError& e) {
-      std::fprintf(stderr, "restart failed: %s\n", e.what());
-      return 1;
-    }
-    std::printf("restarted from %s: interval %d, t_ns = %.4f, %zu DPD particles\n\n",
-                restart_dir.c_str(), start_interval, ns.time(), sys.size());
-  }
-
-  for (int interval = start_interval; interval < intervals; ++interval) {
-    cdc.advance_interval([&] {
-      if (interval >= 12) sampler.accumulate(sys);
-    });
-    if (checkpoint_every > 0 && (interval + 1) % checkpoint_every == 0 &&
-        interval + 1 < intervals) {
-      const std::string dir = checkpoint_dir + "/step-" + std::to_string(interval + 1);
-      const std::size_t bytes =
-          coord.save(dir, static_cast<std::uint64_t>(interval + 1), ns.time());
-      std::printf("checkpoint: %s (%zu bytes)\n", dir.c_str(), bytes);
-    }
+  scenario::Runner runner(sc, opts);
+  scenario::RunResult res;
+  try {
+    res = runner.run();
+  } catch (const resilience::SnapshotError& e) {
+    std::fprintf(stderr, "restart failed: %s\n", e.what());
+    return 1;
   }
 
   if (digest) {
     // CRC32 over the concatenated component states: two runs arriving at the
     // same interval must print the same digest (restart-equivalence check).
-    resilience::BlobWriter w;
-    ns.save_state(w);
-    sys.save_state(w);
-    bc.save_state(w);
-    cdc.save_state(w);
-    sampler.save_state(w);
-    std::printf("STATE_DIGEST %08x\n", resilience::crc32(w.data()));
+    std::printf("STATE_DIGEST %08x\n", res.digest);
     return 0;
   }
 
-  // --- 4. compare the profiles across the interface ---
-  auto profile = sampler.snapshot();
+  // --- compare the profiles across the interface ---
+  auto profile = runner.sampler().snapshot();
   std::printf("%-8s %-14s %-14s\n", "y (NS)", "u continuum", "u DPD (scaled back)");
   for (std::size_t b = 0; b < profile.size(); ++b) {
     const double y = (static_cast<double>(b) + 0.5) / static_cast<double>(profile.size());
-    const double u_ns = disc.evaluate(ns.u(), 2.0, y);
-    const double u_dpd = scales.velocity_dpd_to_ns(profile[b]);
+    const double u_ns = runner.eval_u(2.0, y);
+    const double u_dpd = runner.scales().velocity_dpd_to_ns(profile[b]);
     std::printf("%-8.2f %-14.4f %-14.4f\n", y, u_ns, u_dpd);
   }
   std::printf("\nExchanges performed: %zu; DPD particles now: %zu "
               "(inserted %zu / deleted %zu by the flux BC)\n",
-              cdc.exchanges(), sys.size(), bc.inserted_total(), bc.deleted_total());
+              runner.exchanges(), runner.dpd().size(), runner.flow_bc().inserted_total(),
+              runner.flow_bc().deleted_total());
   return 0;
 }

@@ -41,7 +41,7 @@ dpd::Vec3 ContinuumDpdCoupler::continuum_velocity_at(const dpd::Vec3& p) const {
   return {scales_.velocity_ns_to_dpd(u_ns), 0.0, scales_.velocity_ns_to_dpd(v_ns)};
 }
 
-void ContinuumDpdCoupler::advance_interval(const std::function<void()>& per_dpd_step) {
+std::size_t ContinuumDpdCoupler::advance_interval(const std::function<void()>& per_dpd_step) {
   // exchange: interpolate the continuum field onto the atomistic interface
   // (the FlowBc buffer and every registered Gamma_I window evaluate the
   // imposed velocity pointwise)
@@ -51,8 +51,9 @@ void ContinuumDpdCoupler::advance_interval(const std::function<void()>& per_dpd_
   ++exchanges_;
 
   // Fig. 5 time progression
+  std::size_t cg_iters = 0;
   for (int s = 0; s < tp_.exchange_every_ns; ++s) {
-    ns_->step();
+    cg_iters += ns_->step();
     for (int q = 0; q < tp_.dpd_per_ns; ++q) {
       dpd_->step();
       flow_bc_->apply(*dpd_);
@@ -60,6 +61,7 @@ void ContinuumDpdCoupler::advance_interval(const std::function<void()>& per_dpd_
       if (per_dpd_step) per_dpd_step();
     }
   }
+  return cg_iters;
 }
 
 double ContinuumDpdCoupler::interface_mismatch(dpd::FieldSampler& sampler) const {

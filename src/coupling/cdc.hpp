@@ -42,8 +42,9 @@ public:
   /// One coupling interval (Fig. 5): refresh atomistic BCs from the
   /// continuum, then advance NS by exchange_every_ns steps and DPD by
   /// dpd_per_ns steps per NS step. Optional per-DPD-step callback (platelet
-  /// updates, sampling...).
-  void advance_interval(const std::function<void()>& per_dpd_step = {});
+  /// updates, sampling...). Returns the total continuum CG iterations spent
+  /// (warm-start accounting for the ensemble engine).
+  std::size_t advance_interval(const std::function<void()>& per_dpd_step = {});
 
   std::size_t exchanges() const { return exchanges_; }
 

@@ -35,14 +35,15 @@ dpd::Vec3 ContinuumDpdCoupler3D::continuum_velocity_at(const dpd::Vec3& p) const
           scales_.velocity_ns_to_dpd(d.evaluate(ns_->w(), x, y, z))};
 }
 
-void ContinuumDpdCoupler3D::advance_interval(const std::function<void()>& per_dpd_step) {
+std::size_t ContinuumDpdCoupler3D::advance_interval(const std::function<void()>& per_dpd_step) {
   auto field = [this](const dpd::Vec3& p) { return continuum_velocity_at(p); };
   flow_bc_->set_target_velocity(field);
   if (buffers_) buffers_->set_shared_target(field);
   ++exchanges_;
 
+  std::size_t cg_iters = 0;
   for (int s = 0; s < tp_.exchange_every_ns; ++s) {
-    ns_->step();
+    cg_iters += ns_->step();
     for (int q = 0; q < tp_.dpd_per_ns; ++q) {
       dpd_->step();
       flow_bc_->apply(*dpd_);
@@ -50,6 +51,7 @@ void ContinuumDpdCoupler3D::advance_interval(const std::function<void()>& per_dp
       if (per_dpd_step) per_dpd_step();
     }
   }
+  return cg_iters;
 }
 
 double ContinuumDpdCoupler3D::interface_mismatch(dpd::FieldSampler& sampler) const {

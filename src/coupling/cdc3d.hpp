@@ -30,8 +30,9 @@ public:
 
   void set_buffer_zones(dpd::BufferZones* zones) { buffers_ = zones; }
 
-  /// One Fig.-5 coupling interval.
-  void advance_interval(const std::function<void()>& per_dpd_step = {});
+  /// One Fig.-5 coupling interval. Returns the total continuum CG
+  /// iterations spent (warm-start accounting for the ensemble engine).
+  std::size_t advance_interval(const std::function<void()>& per_dpd_step = {});
 
   /// Continuum velocity at a DPD point, in DPD units.
   dpd::Vec3 continuum_velocity_at(const dpd::Vec3& p) const;

@@ -1,0 +1,29 @@
+#include "scenario/presets.hpp"
+
+namespace scenario {
+
+Scenario quickstart_preset() {
+  Scenario sc;
+  sc.name = "quickstart";
+  sc.kind = "cdc";
+  // Every spec default is already the quickstart value (schema.hpp); only
+  // the checkpoint directory differs from the schema default.
+  sc.checkpoint.dir = "quickstart-ckpt";
+  validate_scenario(sc);
+  return sc;
+}
+
+Scenario coupled3d_preset() {
+  Scenario sc;
+  sc.name = "coupled3d";
+  sc.kind = "cdc3d";
+  sc.sem.time_order = 2;
+  sc.coupling.region = {1.5, 2.5, 0.25, 0.75, 0.0, 1.0};
+  sc.time.intervals = 25;
+  sc.time.sample_from = 15;
+  sc.checkpoint.dir = "coupled3d-ckpt";
+  validate_scenario(sc);
+  return sc;
+}
+
+}  // namespace scenario

@@ -1,0 +1,17 @@
+#pragma once
+// Built-in scenario presets mirroring the hand-written examples. The
+// checked-in files under examples/scenarios/ are exactly
+// scenario_to_json(preset) — a test pins their bytes, so the JSON on disk
+// can never drift from the code that defines the runs.
+
+#include "scenario/schema.hpp"
+
+namespace scenario {
+
+/// The quickstart example (kind "cdc"): 2D SEM channel + embedded DPD box.
+Scenario quickstart_preset();
+
+/// The coupled3d example (kind "cdc3d"): 3D SEM box + embedded DPD box.
+Scenario coupled3d_preset();
+
+}  // namespace scenario

@@ -268,6 +268,27 @@ void NavierStokes2D::load_state(resilience::BlobReader& r) {
   }
 }
 
+void NavierStokes2D::save_warmstart(resilience::BlobWriter& w) const {
+  w.pod(static_cast<std::uint8_t>(pressure_solver_ != nullptr));
+  if (pressure_solver_) {
+    pressure_solver_->save_state(w);
+    velocity_solver_->save_state(w);
+    w.pod(static_cast<std::uint8_t>(velocity_solver2_ != nullptr));
+    if (velocity_solver2_) velocity_solver2_->save_state(w);
+  }
+}
+
+void NavierStokes2D::load_warmstart(resilience::BlobReader& r) {
+  if (r.pod<std::uint8_t>() == 0) return;  // donor had never stepped
+  if (!pressure_solver_) build_solvers();
+  pressure_solver_->load_state(r);
+  velocity_solver_->load_state(r);
+  const bool had2 = r.pod<std::uint8_t>() != 0;
+  if (had2 != (velocity_solver2_ != nullptr))
+    throw resilience::LayoutError("NS2D: warm-start time_order != configured time_order");
+  if (velocity_solver2_) velocity_solver2_->load_state(r);
+}
+
 double NavierStokes2D::max_speed() const {
   double m = 0.0;
   for (std::size_t g = 0; g < d_->num_nodes(); ++g)

@@ -85,6 +85,13 @@ public:
   void save_state(resilience::BlobWriter& w) const;
   void load_state(resilience::BlobReader& r);
 
+  /// Serialize only the Helmholtz solvers' successive-solution projector
+  /// bases (no fields, no time). Loading seeds the CG predictors of a fresh
+  /// run from a completed nearby one — the ensemble engine's "projector"
+  /// warm-start mode. Requires identical discretization and time_order.
+  void save_warmstart(resilience::BlobWriter& w) const;
+  void load_warmstart(resilience::BlobReader& r);
+
 private:
   struct TagBc {
     bool natural = false;

@@ -238,4 +238,25 @@ void NavierStokes3D::load_state(resilience::BlobReader& r) {
   }
 }
 
+void NavierStokes3D::save_warmstart(resilience::BlobWriter& w) const {
+  w.pod(static_cast<std::uint8_t>(pressure_solver_ != nullptr));
+  if (pressure_solver_) {
+    pressure_solver_->save_state(w);
+    velocity_solver_->save_state(w);
+    w.pod(static_cast<std::uint8_t>(velocity_solver2_ != nullptr));
+    if (velocity_solver2_) velocity_solver2_->save_state(w);
+  }
+}
+
+void NavierStokes3D::load_warmstart(resilience::BlobReader& r) {
+  if (r.pod<std::uint8_t>() == 0) return;  // donor had never stepped
+  if (!pressure_solver_) build_solvers();
+  pressure_solver_->load_state(r);
+  velocity_solver_->load_state(r);
+  const bool had2 = r.pod<std::uint8_t>() != 0;
+  if (had2 != (velocity_solver2_ != nullptr))
+    throw resilience::LayoutError("NS3D: warm-start time_order != configured time_order");
+  if (velocity_solver2_) velocity_solver2_->load_state(r);
+}
+
 }  // namespace sem

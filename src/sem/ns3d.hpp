@@ -52,6 +52,12 @@ public:
   void save_state(resilience::BlobWriter& w) const;
   void load_state(resilience::BlobReader& r);
 
+  /// Serialize only the Helmholtz solvers' successive-solution projector
+  /// bases (no fields, no time) — the ensemble engine's "projector"
+  /// warm-start mode. Requires identical discretization and time_order.
+  void save_warmstart(resilience::BlobWriter& w) const;
+  void load_warmstart(resilience::BlobReader& r);
+
   double time() const { return t_; }
   const la::Vector& u() const { return u_; }
   const la::Vector& v() const { return v_; }

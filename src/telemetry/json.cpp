@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <limits>
 
+#include "io/json_escape.hpp"
+
 namespace telemetry {
 
 void JsonWriter::value(double v) {
@@ -23,27 +25,7 @@ void JsonWriter::value(double v) {
 }
 
 void JsonWriter::string_literal(const std::string& s) {
-  out_ << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out_ << "\\\""; break;
-      case '\\': out_ << "\\\\"; break;
-      case '\n': out_ << "\\n"; break;
-      case '\t': out_ << "\\t"; break;
-      case '\r': out_ << "\\r"; break;
-      case '\b': out_ << "\\b"; break;
-      case '\f': out_ << "\\f"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned char>(c));
-          out_ << buf;
-        } else {
-          out_ << c;
-        }
-    }
-  }
-  out_ << '"';
+  out_ << io::json_string_literal(s);
 }
 
 }  // namespace telemetry

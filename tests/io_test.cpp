@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "io/json_escape.hpp"
 #include "io/vtk.hpp"
 #include "mesh/quadmesh.hpp"
 
@@ -98,6 +99,23 @@ TEST(IoVtk, NetworkPolylines) {
   EXPECT_EQ(count_lines_after(text, "LINES "), 2u);
   EXPECT_NE(text.find("SCALARS area double 1"), std::string::npos);
   EXPECT_NE(text.find("SCALARS pressure double 1"), std::string::npos);
+}
+
+// The shared JSON escaping helper (used by telemetry's JsonWriter and the
+// scenario serializer; the round-trip through the scenario parser is pinned
+// in tests/scenario_test.cpp).
+TEST(IoJsonEscape, MandatoryAndControlEscapes) {
+  EXPECT_EQ(io::json_string_literal("plain"), "\"plain\"");
+  EXPECT_EQ(io::json_string_literal("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(io::json_string_literal("\n\t\r\b\f"), "\"\\n\\t\\r\\b\\f\"");
+  EXPECT_EQ(io::json_string_literal(std::string("\x01\x1f", 2)), "\"\\u0001\\u001f\"");
+  // NUL inside the string must not truncate it.
+  EXPECT_EQ(io::json_string_literal(std::string("a\0b", 3)), "\"a\\u0000b\"");
+}
+
+TEST(IoJsonEscape, Utf8BytesPassThrough) {
+  const std::string utf8 = "\xce\xbc \xe8\xa1\x80 \xf0\x9f\xa9\xb8";  // mu, blood, drop
+  EXPECT_EQ(io::json_string_literal(utf8), "\"" + utf8 + "\"");
 }
 
 }  // namespace

@@ -68,12 +68,19 @@ public:
   sem::NavierStokes2D& ns_solver() { return *ns_; }
 
 private:
+  // analyze: no-checkpoint (coupled solvers checkpoint separately via the coordinator)
   sem::NavierStokes2D* ns_;
+  // analyze: no-checkpoint (coupled solvers checkpoint separately via the coordinator)
   dpd::DpdSystem* dpd_;
+  // analyze: no-checkpoint (coupled solvers checkpoint separately via the coordinator)
   dpd::FlowBc* flow_bc_;
+  // analyze: no-checkpoint (owned by the driver; checkpointed separately if registered)
   dpd::BufferZones* buffers_ = nullptr;
+  // analyze: no-checkpoint (constructor configuration)
   EmbeddedRegion region_;
+  // analyze: no-checkpoint (constructor configuration)
   ScaleMap scales_;
+  // analyze: no-checkpoint (constructor configuration)
   TimeProgression tp_;
   std::size_t exchanges_ = 0;
 };

@@ -49,12 +49,19 @@ public:
 private:
   void dpd_to_ns(const dpd::Vec3& p, double& x, double& y, double& z) const;
 
+  // analyze: no-checkpoint (coupled solvers checkpoint separately via the coordinator)
   sem::NavierStokes3D* ns_;
+  // analyze: no-checkpoint (coupled solvers checkpoint separately via the coordinator)
   dpd::DpdSystem* dpd_;
+  // analyze: no-checkpoint (coupled solvers checkpoint separately via the coordinator)
   dpd::FlowBc* flow_bc_;
+  // analyze: no-checkpoint (owned by the driver; checkpointed separately if registered)
   dpd::BufferZones* buffers_ = nullptr;
+  // analyze: no-checkpoint (constructor configuration)
   EmbeddedBox box_;
+  // analyze: no-checkpoint (constructor configuration)
   ScaleMap scales_;
+  // analyze: no-checkpoint (constructor configuration)
   TimeProgression tp_;
   std::size_t exchanges_ = 0;
 };

@@ -65,8 +65,11 @@ public:
   void load_state(resilience::BlobReader& r);
 
 private:
+  // analyze: no-checkpoint (communicators are process topology, never serialised)
   xmp::Comm l3_;
+  // analyze: no-checkpoint (communicators are process topology, never serialised)
   xmp::Comm rep_;    ///< my replica group
+  // analyze: no-checkpoint (communicators are process topology, never serialised)
   xmp::Comm roots_;  ///< all replica roots (invalid on non-root ranks)
   int n_ = 1;
   int rid_ = 0;

@@ -49,6 +49,7 @@ public:
   void load_state(resilience::BlobReader& r);
 
 private:
+  // analyze: no-checkpoint (configuration, incl. the coupling velocity callback)
   FlowBcParams prm_;
   std::mt19937 rng_;
   std::size_t inserted_ = 0, deleted_ = 0;

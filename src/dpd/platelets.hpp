@@ -71,13 +71,16 @@ private:
   }
   void rebuild_index();
 
+  // analyze: no-checkpoint (constructor configuration, incl. the region callback)
   PlateletParams prm_;
   std::vector<std::size_t> particles_;  ///< particle index per platelet
   std::vector<PlateletState> state_;
   std::vector<double> trigger_time_;
+  // analyze: no-checkpoint (rebuilt from particles_ by load_state/rebuild_index)
   std::unordered_map<std::size_t, std::size_t> index_of_;  ///< particle -> slot
   /// Scratch for add_forces: adhesive (i, j) particle pairs, sorted before
   /// application so force accumulation order is grid-independent.
+  // analyze: no-checkpoint (per-call scratch, dead between force passes)
   std::vector<std::pair<std::size_t, std::size_t>> adhesive_pairs_;
 };
 

@@ -46,7 +46,9 @@ public:
   void load_state(resilience::BlobReader& r);
 
 private:
+  // analyze: no-checkpoint (constructor configuration)
   SamplerParams prm_;
+  // analyze: no-checkpoint (copied from the system geometry at construction)
   Vec3 box_;
   std::vector<double> sum_;
   std::vector<std::size_t> count_;

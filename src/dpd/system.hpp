@@ -239,35 +239,47 @@ private:
                                               {0, 1, -1}, {1, 1, 1},  {1, 1, -1}, {1, -1, 1},
                                               {1, -1, -1}};
 
+  // analyze: no-checkpoint (constructor configuration, re-supplied by the driver)
   DpdParams prm_;
+  // analyze: no-checkpoint (geometry is configuration, re-supplied by the driver)
   std::shared_ptr<Geometry> geom_;
 
   std::vector<Vec3> pos_, vel_, frc_, frc_old_;
   std::vector<Species> species_;
   std::vector<char> frozen_;
+  // analyze: no-checkpoint (modules checkpoint separately via the coordinator)
   std::vector<std::shared_ptr<ForceModule>> modules_;
+  // analyze: no-checkpoint (callback configuration, re-established by the driver)
   BodyForceFn body_force_;
 
-  // Verlet neighbor list (the hot-path pair source)
+  // Verlet neighbor list (the hot-path pair source); load_state only
+  // invalidates it so the first post-restart step rebuilds from pos_.
+  // analyze: no-checkpoint (derived cache, rebuilt on demand from pos_)
   NeighborList nlist_;
 
   // per-species-pair coefficient tables, hoisted out of the pair loop:
   // a, gamma, and sigma = sqrt(2 gamma kBT), row-major [si * kNumSpecies + sj]
+  // analyze: no-checkpoint (derived from prm_ in the constructor)
   std::array<double, kNumSpecies * kNumSpecies> a_tab_{}, g_tab_{}, sig_tab_{};
 
   // legacy rc-sized cell grid (for_each_pair_cellwalk baseline only)
+  // analyze: no-checkpoint (rebuilt every cell walk from pos_)
   int ncx_ = 0, ncy_ = 0, ncz_ = 0;
+  // analyze: no-checkpoint (rebuilt every cell walk from pos_)
   std::vector<long> cell_head_;
+  // analyze: no-checkpoint (rebuilt every cell walk from pos_)
   std::vector<long> cell_next_;
 
   // reusable scratch: predicted velocities (integrator) and the gathered
   // per-run pair batch handed to la::simd::dpd_pair_forces. Dead between
   // calls — never checkpointed.
+  // analyze: no-checkpoint (integrator scratch, recomputed within every step)
   std::vector<Vec3> v_pred_;
   struct PairBatch {
     std::vector<double> dx, dy, dz, r2, dvx, dvy, dvz, zeta, a, g, sig, fx, fy, fz;
     void resize(std::size_t m);
   };
+  // analyze: no-checkpoint (pair-loop scratch, dead between force passes)
   PairBatch batch_;
 
   std::uint64_t step_ = 0;

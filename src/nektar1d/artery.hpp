@@ -92,10 +92,15 @@ public:
 private:
   void rhs(const la::Vector& A, const la::Vector& U, la::Vector& dA, la::Vector& dU) const;
 
+  // analyze: no-checkpoint (constructor configuration, validated at load)
   VesselParams prm_;
+  // analyze: no-checkpoint (quadrature rule, derived from prm_.order)
   sem::GllRule rule_;
+  // analyze: no-checkpoint (derived from rule_ in the constructor)
   la::DenseMatrix D_;     // reference differentiation matrix
+  // analyze: no-checkpoint (derived from prm_ in the constructor)
   double jac_;            // dx_elem / 2
+  // analyze: no-checkpoint (derived from prm_/rule_ in the constructor)
   la::Vector x_;          // node coordinates (duplicated at element joints)
   la::Vector A_, U_;
   double ghost_Al_, ghost_Ul_, ghost_Ar_, ghost_Ur_;

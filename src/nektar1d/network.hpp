@@ -82,8 +82,10 @@ private:
   void apply_junction(const Junction& j);
 
   std::vector<std::unique_ptr<Artery>> vessels_;
+  // analyze: no-checkpoint (inflow waveform callbacks are configuration)
   std::vector<Inlet> inlets_;
   std::vector<Outlet> outlets_;
+  // analyze: no-checkpoint (network topology is configuration, must match at restart)
   std::vector<Junction> junctions_;
   double t_ = 0.0;
 };

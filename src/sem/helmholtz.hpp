@@ -67,23 +67,35 @@ public:
 private:
   void apply_block_schwarz(const double* r, double* z, std::size_t n) const;
 
+  // analyze: no-checkpoint (constructor configuration, re-supplied by the driver)
   const Operators* ops_;
+  // analyze: no-checkpoint (constructor configuration: operator coefficients)
   double lambda_, nu_;
+  // analyze: no-checkpoint (derived from the BC tags in the constructor)
   std::vector<std::size_t> dnodes_;
+  // analyze: no-checkpoint (derived from dnodes_ in the constructor)
   std::vector<char> is_dirichlet_;
+  // analyze: no-checkpoint (preconditioner table, precomputed from ops_)
   la::Vector precond_diag_;
   la::SolutionProjector projector_;
+  // analyze: no-checkpoint (set by set_projection_depth, driver configuration)
   bool projection_enabled_ = true;
+  // analyze: no-checkpoint (solver tolerances are configuration)
   la::CgOptions opt_;
 
+  // analyze: no-checkpoint (driver configuration)
   PreconditionerKind precond_kind_ = PreconditionerKind::Jacobi;
   // BlockSchwarz data: per-element Cholesky factors of the local Helmholtz
   // blocks, the partition-of-unity weights (inverse node multiplicity), and
   // their square roots plus element scratch, precomputed so the per-CG-
   // iteration apply allocates nothing.
+  // analyze: no-checkpoint (precomputed preconditioner factors)
   std::vector<la::DenseMatrix> block_chol_;
+  // analyze: no-checkpoint (precomputed partition-of-unity weights)
   la::Vector pou_;
+  // analyze: no-checkpoint (precomputed partition-of-unity weights)
   la::Vector sqrt_pou_;
+  // analyze: no-checkpoint (per-apply element scratch)
   mutable la::Vector rl_, zl_;
 };
 

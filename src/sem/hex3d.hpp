@@ -188,12 +188,18 @@ public:
   void load_state(resilience::BlobReader& r);
 
 private:
+  // analyze: no-checkpoint (constructor configuration, re-supplied by the driver)
   const Operators3D* ops_;
+  // analyze: no-checkpoint (constructor configuration: operator coefficients)
   double lambda_, nu_;
+  // analyze: no-checkpoint (derived from the BC tags in the constructor)
   std::vector<std::size_t> dnodes_;
+  // analyze: no-checkpoint (derived from dnodes_ in the constructor)
   std::vector<char> is_dirichlet_;
+  // analyze: no-checkpoint (preconditioner table, precomputed from ops_)
   la::Vector precond_diag_;
   la::SolutionProjector projector_;
+  // analyze: no-checkpoint (solver tolerances are configuration)
   la::CgOptions opt_;
 };
 

@@ -102,11 +102,18 @@ private:
   void build_solvers();
   void fill_bc_values(double t, la::Vector& ubc, la::Vector& vbc) const;
 
+  // load_state dereferences d_ only to validate field sizes; the
+  // discretization itself is configuration.
+  // analyze: no-checkpoint (constructor configuration, re-supplied by the driver)
   const Discretization* d_;
+  // analyze: no-checkpoint (constructor configuration)
   Params params_;
+  // analyze: no-checkpoint (derived operator tables, rebuilt from d_)
   Operators ops_;
 
+  // analyze: no-checkpoint (BC callbacks are configuration, re-established by the driver)
   std::map<int, TagBc> bc_;
+  // analyze: no-checkpoint (forcing callbacks are configuration)
   ForceFn fx_, fy_;
 
   la::Vector u_, v_, p_;
@@ -118,6 +125,7 @@ private:
   std::unique_ptr<HelmholtzSolver> pressure_solver_;
   std::unique_ptr<HelmholtzSolver> velocity_solver_;   // order-1 lambda = 1/dt
   std::unique_ptr<HelmholtzSolver> velocity_solver2_;  // order-2 lambda = 3/(2 dt)
+  // analyze: no-checkpoint (derived from BC registration, rebuilt by build_solvers)
   std::vector<int> velocity_dirichlet_tags_;
 };
 

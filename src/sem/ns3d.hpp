@@ -75,11 +75,18 @@ private:
   void build_solvers();
   void fill_bc_values(double t, la::Vector& ubc, la::Vector& vbc, la::Vector& wbc) const;
 
+  // load_state dereferences d_ only to validate field sizes; the
+  // discretization itself is configuration.
+  // analyze: no-checkpoint (constructor configuration, re-supplied by the driver)
   const Discretization3D* d_;
+  // analyze: no-checkpoint (constructor configuration)
   Params params_;
+  // analyze: no-checkpoint (derived operator tables, rebuilt from d_)
   Operators3D ops_;
 
+  // analyze: no-checkpoint (BC callbacks are configuration, re-established by the driver)
   std::array<FaceBc, 6> bc_{};
+  // analyze: no-checkpoint (forcing callbacks are configuration)
   BcFn fx_, fy_, fz_;
 
   la::Vector u_, v_, w_, p_;
@@ -90,7 +97,9 @@ private:
   std::unique_ptr<HelmholtzSolver3D> pressure_solver_;
   std::unique_ptr<HelmholtzSolver3D> velocity_solver_;
   std::unique_ptr<HelmholtzSolver3D> velocity_solver2_;
+  // analyze: no-checkpoint (derived from BC registration, rebuilt by build_solvers)
   std::vector<std::size_t> dnodes_;  ///< union of Dirichlet-face nodes
+  // analyze: no-checkpoint (derived from BC registration, rebuilt by build_solvers)
   std::vector<char> node_face_;      ///< node -> owning face index (255 = none)
 };
 

@@ -95,6 +95,7 @@ public:
   void load_state(resilience::BlobReader& r);
 
 private:
+  // analyze: no-checkpoint (constructor configuration)
   Options opt_;
   std::size_t window_;
   std::size_t since_last_ = 0;

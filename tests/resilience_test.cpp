@@ -492,6 +492,85 @@ TEST(RoundTrip, DpdWithBondsPlateletsAndFlowBcContinuesBitwise) {
   EXPECT_EQ(a.bc.inserted_total(), b.bc.inserted_total());
 }
 
+// Pins PlateletModel::trigger_time_ while it is live: the checkpoint is
+// taken mid-activation-delay (platelets Triggered but not yet Active), so
+// the restored run reaches Active at exactly the same step as the
+// uninterrupted one only if the pending trigger timestamps were serialised.
+// The coverage gap this closes was surfaced by the tools/analyze
+// checkpoint-coverage pass: no other test crossed a restart with the
+// activation state machine mid-flight.
+struct PlateletWorld {
+  dpd::DpdSystem sys;
+  std::shared_ptr<dpd::PlateletModel> platelets;
+
+  static dpd::DpdParams params() {
+    dpd::DpdParams p;
+    p.box = {8.0, 4.0, 6.0};
+    p.periodic = {false, true, false};
+    p.dt = 0.01;
+    return p;
+  }
+  static dpd::PlateletParams platelet_params() {
+    dpd::PlateletParams p;
+    p.adhesive_region = [](const dpd::Vec3&) { return true; };
+    p.trigger_distance = 1e9;   // trigger on the first update, anywhere
+    p.activation_delay = 0.07;  // 7 steps at dt = 0.01
+    p.bind_speed = 0.0;         // never arrest: keep the Active count stable
+    return p;
+  }
+
+  explicit PlateletWorld(bool populate)
+      : sys(params(), std::make_shared<dpd::ChannelZ>(6.0)),
+        platelets(std::make_shared<dpd::PlateletModel>(platelet_params())) {
+    sys.add_module(platelets);
+    if (populate) {
+      sys.fill(2.0, dpd::kSolvent, 3, 0.1);
+      platelets->seed_platelets(sys, 2, 7);
+    }
+  }
+
+  void advance(int steps) {
+    for (int s = 0; s < steps; ++s) {
+      sys.step();
+      platelets->update(sys);
+    }
+  }
+  std::vector<std::uint8_t> state() const {
+    resilience::BlobWriter w;
+    sys.save_state(w);
+    platelets->save_state(w);
+    return w.take();
+  }
+  void restore(const std::vector<std::uint8_t>& snap) {
+    resilience::BlobReader r(snap);
+    sys.load_state(r);
+    platelets->load_state(r);
+    r.expect_end();
+  }
+};
+
+TEST(RoundTrip, PlateletTriggerTimeSurvivesMidDelayRestart) {
+  PlateletWorld a(/*populate=*/true);
+  a.advance(3);  // triggered at the first update; activation 7 steps later
+  ASSERT_EQ(a.platelets->count(dpd::PlateletState::Triggered), 2u);
+  ASSERT_EQ(a.platelets->count(dpd::PlateletState::Active), 0u);
+
+  PlateletWorld b(/*populate=*/false);
+  b.restore(a.state());
+  EXPECT_EQ(b.platelets->count(dpd::PlateletState::Triggered), 2u);
+
+  // both worlds must flip Triggered -> Active on exactly the same step
+  for (int s = 0; s < 8; ++s) {
+    a.advance(1);
+    b.advance(1);
+    EXPECT_EQ(a.platelets->count(dpd::PlateletState::Active),
+              b.platelets->count(dpd::PlateletState::Active))
+        << "diverged at step " << s;
+  }
+  EXPECT_EQ(a.platelets->count(dpd::PlateletState::Active), 2u);
+  EXPECT_EQ(a.state(), b.state());
+}
+
 nektar1d::ArterialNetwork make_bifurcation() {
   nektar1d::ArterialNetwork net;
   nektar1d::VesselParams vp;

@@ -1,0 +1,16 @@
+"""`python3 tools/analyze` entry point."""
+
+import sys
+from pathlib import Path
+
+# Make the package directory importable as flat modules (tokenizer, index,
+# passes) regardless of how we are invoked (python3 tools/analyze, an
+# absolute path from ctest, or -m with the repo root on sys.path).
+_HERE = str(Path(__file__).resolve().parent)
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
+
+from driver import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,243 @@
+"""Driver for the semantic repo analyzer.
+
+Usage (from the repo root):
+    python3 tools/analyze                 # analyze default roots, gate on
+                                          # unbaselined findings
+    python3 tools/analyze src/dpd         # restrict to explicit paths
+    python3 tools/analyze --self-test     # run the fixture suites of every pass
+    python3 tools/analyze --json out.json # also write a machine-readable report
+    python3 tools/analyze --write-baseline  # accept current findings
+
+Translation units come from `--compile-commands build/compile_commands.json`
+when given (plus every header under the default roots — compile commands only
+list .cpp files); otherwise from a glob over the default roots.
+
+Findings are suppressed either by an inline
+`// analyze: <marker> (<reason>)` on/above the offending line, or by an entry
+in the committed baseline (tools/analyze/baseline.json), keyed on
+(rule, path, stable key) — never on line numbers, so unrelated edits do not
+churn it. Stale baseline entries are reported as warnings so the file shrinks
+over time instead of fossilising.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from index import RepoIndex
+from passes import checkpoint_coverage, collective_divergence, lock_across_yield
+
+PASSES = (checkpoint_coverage, collective_divergence, lock_across_yield)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+DEFAULT_ROOTS = ("src",)
+EXTS = (".hpp", ".h", ".cpp", ".cc", ".cxx")
+
+
+def _relpath(p: Path) -> str:
+    try:
+        return p.resolve().relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        return p.as_posix()
+
+
+def collect_targets(paths, compile_commands) -> list:
+    """Repo-relative paths of the files to index, sorted and de-duplicated."""
+    out: set[str] = set()
+    if paths:
+        for p in paths:
+            pp = Path(p)
+            if not pp.is_absolute():
+                pp = REPO_ROOT / pp
+            if pp.is_dir():
+                for ext in EXTS:
+                    out.update(_relpath(f) for f in pp.rglob(f"*{ext}"))
+            elif pp.is_file():
+                out.add(_relpath(pp))
+            else:
+                print(f"analyze: warning: no such path: {p}", file=sys.stderr)
+        return sorted(out)
+    if compile_commands:
+        cc = Path(compile_commands)
+        if not cc.is_absolute():
+            cc = REPO_ROOT / cc
+        try:
+            entries = json.loads(cc.read_text())
+        except (OSError, ValueError) as e:
+            print(f"analyze: warning: cannot read {compile_commands} ({e}); "
+                  "falling back to glob", file=sys.stderr)
+            entries = []
+        for e in entries:
+            f = Path(e.get("file", ""))
+            if not f.is_absolute():
+                f = Path(e.get("directory", ".")) / f
+            rel = _relpath(f)
+            if any(rel.startswith(r + "/") for r in DEFAULT_ROOTS) and f.is_file():
+                out.add(rel)
+        # compile commands carry only TUs; headers hold the class declarations
+        for root in DEFAULT_ROOTS:
+            for ext in (".hpp", ".h"):
+                out.update(_relpath(f) for f in (REPO_ROOT / root).rglob(f"*{ext}"))
+        if out:
+            return sorted(out)
+    for root in DEFAULT_ROOTS:
+        base = REPO_ROOT / root
+        if base.is_dir():
+            for ext in EXTS:
+                out.update(_relpath(f) for f in base.rglob(f"*{ext}"))
+    return sorted(out)
+
+
+def build_index(targets) -> RepoIndex:
+    repo = RepoIndex()
+    for rel in targets:
+        p = REPO_ROOT / rel
+        try:
+            text = p.read_text(errors="replace")
+        except OSError as e:
+            print(f"analyze: warning: cannot read {rel} ({e})", file=sys.stderr)
+            continue
+        repo.add(rel, text)
+    return repo
+
+
+# ---- baseline ---------------------------------------------------------------
+
+def load_baseline(path: Path) -> list:
+    """[{rule, path, key}, ...]; missing file -> empty."""
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError:
+        return []
+    except ValueError as e:
+        print(f"analyze: error: malformed baseline {path}: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    return data.get("findings", [])
+
+
+def save_baseline(path: Path, findings) -> None:
+    entries = sorted(
+        ({"rule": f.rule, "path": f.path, "key": f.key} for f in findings),
+        key=lambda e: (e["rule"], e["path"], e["key"]))
+    path.write_text(json.dumps(
+        {"comment": "Accepted analyzer findings. Entries are keyed on stable "
+                    "fingerprints, not line numbers. Prefer fixing the code or "
+                    "adding a reasoned inline marker; baseline only what is "
+                    "intentionally deferred.",
+         "findings": entries}, indent=2) + "\n")
+
+
+def split_by_baseline(findings, baseline):
+    base = {(e["rule"], e["path"], e["key"]) for e in baseline}
+    new, known = [], []
+    seen = set()
+    for f in findings:
+        k = (f.rule, f.path, f.key)
+        seen.add(k)
+        (known if k in base else new).append(f)
+    stale = sorted(b for b in base if b not in seen)
+    return new, known, stale
+
+
+# ---- self-tests -------------------------------------------------------------
+
+def run_self_tests() -> int:
+    failures = 0
+    total = 0
+    for mod in PASSES:
+        for name, files, expected in mod.SELF_TEST_CASES:
+            total += 1
+            repo = RepoIndex()
+            for rel, src in files.items():
+                repo.add(rel, src)
+            got = {f.key for f in mod.run(repo)}
+            if got != expected:
+                failures += 1
+                print(f"FAIL [{mod.RULE}] {name}\n"
+                      f"  expected: {sorted(expected)}\n"
+                      f"  got:      {sorted(got)}")
+    print(f"analyze self-test: {total - failures}/{total} cases passed "
+          f"({', '.join(m.RULE for m in PASSES)})")
+    return 1 if failures else 0
+
+
+# ---- main -------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="tools/analyze",
+        description="semantic static analysis over a shared C++ index")
+    ap.add_argument("paths", nargs="*", help="files/dirs to analyze "
+                    "(default: src/)")
+    ap.add_argument("--compile-commands", metavar="JSON",
+                    help="discover translation units from a CMake "
+                    "compile_commands.json (headers are still globbed)")
+    ap.add_argument("--baseline", metavar="JSON", default=str(DEFAULT_BASELINE),
+                    help="baseline file (default: tools/analyze/baseline.json)")
+    ap.add_argument("--no-baseline", action="store_true",
+                    help="ignore the baseline: report every finding")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="rewrite the baseline to accept all current findings")
+    ap.add_argument("--json", metavar="OUT",
+                    help="write a machine-readable report to OUT")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the per-pass fixture suites and exit")
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        return run_self_tests()
+
+    targets = collect_targets(args.paths, args.compile_commands)
+    if not targets:
+        print("analyze: error: no input files", file=sys.stderr)
+        return 2
+    repo = build_index(targets)
+
+    findings = []
+    for mod in PASSES:
+        findings.extend(mod.run(repo))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.key))
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.is_absolute():
+        baseline_path = REPO_ROOT / baseline_path
+    if args.write_baseline:
+        save_baseline(baseline_path, findings)
+        print(f"analyze: wrote {len(findings)} entries to "
+              f"{_relpath(baseline_path)}")
+        return 0
+    baseline = [] if args.no_baseline else load_baseline(baseline_path)
+    new, known, stale = split_by_baseline(findings, baseline)
+
+    if args.json:
+        report = {
+            "files": len(targets),
+            "passes": [m.RULE for m in PASSES],
+            "findings": [
+                {"rule": f.rule, "path": f.path, "line": f.line,
+                 "key": f.key, "message": f.message,
+                 "baselined": f in known}
+                for f in findings],
+            "stale_baseline": [list(s) for s in stale],
+        }
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
+
+    for f in new:
+        print(f)
+    for s in stale:
+        print(f"analyze: warning: stale baseline entry {s[0]} {s[1]} "
+              f"[{s[2]}] — remove it", file=sys.stderr)
+    n_cls = sum(len(fi.classes) for fi in repo.files.values())
+    n_fn = sum(len(fi.functions) for fi in repo.files.values())
+    print(f"analyze: {len(targets)} files, {n_cls} classes, {n_fn} function "
+          f"bodies; {len(new)} finding(s), {len(known)} baselined, "
+          f"{len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'}")
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -72,6 +72,14 @@ import pathlib
 import re
 import sys
 
+# The token-level rules (memcpy-divisibility, sched-context, sem-hot-alloc,
+# dpd-no-std-function) match against comment/string-stripped lines produced
+# by the analyzer's C++ tokenizer, so a rule name mentioned in a comment or a
+# log string is never a finding. Markers, by contrast, live in comments and
+# are matched on the raw lines.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent / "analyze"))
+from tokenizer import code_only_lines  # noqa: E402
+
 MEMCPY_BACKWINDOW = 12
 TRACE_BACKWINDOW = 25
 MARKER_BACKWINDOW = 2
@@ -279,6 +287,9 @@ def lint_file(path: pathlib.Path, repo_root: pathlib.Path) -> list[Finding]:
     rel = str(path.relative_to(repo_root))
     text = path.read_text(encoding="utf-8", errors="replace")
     lines = text.splitlines()
+    # comment/string-stripped view, padded to the same length
+    clines = code_only_lines(text)
+    clines = (clines + [""] * len(lines))[:len(lines)]
     findings: list[Finding] = []
 
     in_src = rel.startswith("src/")
@@ -291,9 +302,9 @@ def lint_file(path: pathlib.Path, repo_root: pathlib.Path) -> list[Finding]:
         findings.extend(schema_sync_findings(rel, lines))
 
     if in_sem:
-        for lo, hi in sem_hot_ranges(lines):
+        for lo, hi in sem_hot_ranges(clines):
             for i in range(lo, hi + 1):
-                if not STD_VECTOR_CTOR_RE.search(lines[i]):
+                if not STD_VECTOR_CTOR_RE.search(clines[i]):
                     continue
                 if marker_near(lines, i, SEM_ALLOC_OK_RE, MARKER_BACKWINDOW):
                     continue
@@ -316,21 +327,21 @@ def lint_file(path: pathlib.Path, repo_root: pathlib.Path) -> list[Finding]:
                                     "do not import namespace std wholesale"))
 
         if in_src:
-            for m in MEMCPY_RE.finditer(line):
-                call = balanced_call_text(lines, i, m.end() - 1)
+            for m in MEMCPY_RE.finditer(clines[i]):
+                call = balanced_call_text(clines, i, m.end() - 1)
                 if "sizeof" in call:
                     continue  # count is sizeof-derived: divisibility is structural
                 if marker_near(lines, i, MEMCPY_OK_RE, MARKER_BACKWINDOW):
                     continue
                 lo = max(0, i - MEMCPY_BACKWINDOW)
-                if any(DIVCHECK_RE.search(lines[k]) for k in range(lo, i)):
+                if any(DIVCHECK_RE.search(clines[k]) for k in range(lo, i)):
                     continue
                 findings.append(Finding(
                     rel, i + 1, "memcpy-divisibility",
                     "memcpy with a non-sizeof byte count needs a preceding `% sizeof` "
                     "divisibility check or a `// lint: memcpy-ok (<reason>)` marker"))
 
-        if in_rank_visible and THREAD_IDENTITY_RE.search(line.split("//")[0]):
+        if in_rank_visible and THREAD_IDENTITY_RE.search(clines[i]):
             if not marker_near(lines, i, SCHED_CONTEXT_OK_RE, MARKER_BACKWINDOW):
                 findings.append(Finding(
                     rel, i + 1, "sched-context",
@@ -340,7 +351,7 @@ def lint_file(path: pathlib.Path, repo_root: pathlib.Path) -> list[Finding]:
                     "rank_local_slot(), or mark scheduler-internal state with "
                     "`// lint: sched-context-ok (<reason>)`"))
 
-        if in_dpd_header and STD_FUNCTION_RE.search(line):
+        if in_dpd_header and STD_FUNCTION_RE.search(clines[i]):
             if not marker_near(lines, i, STD_FUNCTION_OK_RE, MARKER_BACKWINDOW):
                 findings.append(Finding(
                     rel, i + 1, "dpd-no-std-function",
@@ -483,6 +494,38 @@ SELF_TEST_CASES = [
      set()),
     ("src/other/ok_thread_local_elsewhere.cpp",
      "thread_local int scratch = 0;\n",
+     set()),
+    # --- tokenizer-backed rules: mentions inside comments/strings are not code ---
+    ("src/a/ok_memcpy_in_comment.cpp",
+     "void f(char* d, const char* s, unsigned n) {\n"
+     "  // the old code did memcpy(d, s, n) without a check\n"
+     "  copy_checked(d, s, n);\n}\n",
+     set()),
+    ("src/a/ok_memcpy_in_string.cpp",
+     "void f() {\n  log(\"memcpy(dst, src, nbytes) failed\");\n}\n",
+     set()),
+    ("src/a/bad_memcpy_string_sizeof.cpp",
+     # the only sizeof is inside the logged string: must still be flagged
+     "void f(char* d, const char* s, unsigned n) {\n"
+     "  std::memcpy(d, s, n /* \"n * sizeof(double)\" */);\n}\n",
+     {"memcpy-divisibility"}),
+    ("src/xmp/ok_thread_local_in_string.cpp",
+     "void f() {\n  die(\"thread_local state is forbidden here\");\n}\n",
+     set()),
+    ("src/dpd/ok_fn_in_comment.hpp",
+     "#pragma once\n"
+     "// callbacks must NOT be std::function<void(int,int)>; keep them templated\n"
+     "template <class F> void for_each_pair(F&& fn);\n",
+     set()),
+    ("src/sem/ok_hot_alloc_in_comment.cpp",
+     "void Ops::apply_stiffness(const V& u, V& y) const {\n"
+     "  // scratch was once a std::vector<double> per call; now member-owned\n"
+     "  run(lu_, ly_);\n}\n",
+     set()),
+    ("src/sem/ok_hot_name_in_string.cpp",
+     "void report() {\n"
+     "  log(\"apply_stiffness(n) took too long\");\n"
+     "  std::vector<double> tmp(3);\n}\n",
      set()),
     ("src/scenario/schema.cpp",
      "MeshSpec parse_mesh(const Json& v, const std::string& path) {\n"

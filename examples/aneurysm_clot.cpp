@@ -90,7 +90,9 @@ int main() {
     int slab[10] = {};
     for (std::size_t i = 0; i < platelets->total(); ++i) {
       if (platelets->state_of(i) != dpd::PlateletState::Bound) continue;
-      const auto& p = sys.positions()[platelets->particles()[i]];
+      const long li = sys.local_of(platelets->particles()[i]);
+      if (li < 0) continue;
+      const auto& p = sys.positions()[static_cast<std::size_t>(li)];
       const int sbin = std::clamp(static_cast<int>(p.x / 2.0), 0, 9);
       slab[sbin]++;
     }

@@ -21,10 +21,15 @@
 //   --restart DIR            resume from a checkpoint directory
 //   --digest                 print a CRC32 digest of the final state
 //                            (bitwise restart-equivalence checks)
+//   --sweep FILE             expand the scenario by a sweep spec and run the
+//                            whole ensemble (docs/SCENARIOS.md)
+//   --pool N                 xmp rank pool for --sweep (0 = serial)
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "scenario/ensemble.hpp"
 #include "scenario/flags.hpp"
 #include "scenario/presets.hpp"
 #include "scenario/runner.hpp"
@@ -35,9 +40,14 @@ int main(int argc, char** argv) {
   std::string checkpoint_dir;
   std::string restart_dir;
   std::string scenario_file;
+  std::string sweep_file;
+  int pool = 0;
   bool digest = false;
   scenario::Flags flags("quickstart");
   flags.add_string("--scenario", &scenario_file, "scenario JSON file (default: built-in preset)");
+  flags.add_string("--sweep", &sweep_file,
+                   "sweep JSON file: expand the scenario into an ensemble and run it");
+  flags.add_int("--pool", &pool, "xmp rank pool for --sweep (default 0 = serial in-process)");
   flags.add_int("--intervals", &intervals, "coupling intervals to run");
   flags.add_int("--checkpoint-every", &checkpoint_every, "save a checkpoint every K intervals");
   flags.add_string("--checkpoint-dir", &checkpoint_dir, "where checkpoints go");
@@ -54,6 +64,35 @@ int main(int argc, char** argv) {
   } catch (const scenario::JsonError& e) {
     std::fprintf(stderr, "scenario error: %s\n", e.what());
     return 2;
+  }
+
+  if (!sweep_file.empty()) {
+    // --sweep: run the whole parameter study through the ensemble engine
+    // instead of a single scenario (docs/SCENARIOS.md "Parameter sweeps").
+    scenario::EnsembleReport rep;
+    std::vector<scenario::Variant> variants;
+    try {
+      const scenario::SweepSpec sweep = scenario::load_sweep_file(sweep_file);
+      const scenario::Json base = scenario::serialize_scenario(sc);
+      variants = scenario::EnsembleEngine::expand(base, sweep);
+      scenario::EnsembleOptions eopts;
+      eopts.pool = pool;
+      rep = scenario::EnsembleEngine(base, sweep, eopts).run();
+    } catch (const scenario::JsonError& e) {
+      std::fprintf(stderr, "sweep error: %s\n", e.what());
+      return 2;
+    }
+    std::printf("%-44s %-5s %-10s %s\n", "variant", "ok", "digest", "seconds");
+    for (const auto& r : rep.variants) {
+      const std::string& name = variants[r.index].name;
+      if (r.ok)
+        std::printf("%-44s %-5s %08x   %.2f\n", name.c_str(), "ok", r.digest, r.seconds);
+      else
+        std::printf("%-44s %-5s %s\n", name.c_str(), "FAIL", r.error.c_str());
+    }
+    std::printf("ensemble: %zu completed, %zu failed, %.2fs wall\n", rep.completed, rep.failed,
+                rep.wall_seconds);
+    return rep.failed == 0 ? 0 : 1;
   }
 
   scenario::RunnerOptions opts;

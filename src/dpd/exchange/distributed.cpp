@@ -1,0 +1,255 @@
+#include "dpd/exchange/distributed.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+#include "resilience/blob.hpp"
+#include "telemetry/registry.hpp"
+
+namespace dpd::exchange {
+
+namespace {
+
+std::uint64_t fnv1a_mix(std::uint64_t h, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xFFu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t digest_records(std::vector<ParticleRecord> recs) {
+  std::sort(recs.begin(), recs.end(),
+            [](const ParticleRecord& a, const ParticleRecord& b) { return a.gid < b.gid; });
+  std::uint64_t h = 14695981039346656037ull;
+  for (const ParticleRecord& r : recs) {
+    h = fnv1a_mix(h, r.gid);
+    for (double v : {r.pos.x, r.pos.y, r.pos.z, r.vel.x, r.vel.y, r.vel.z})
+      h = fnv1a_mix(h, std::bit_cast<std::uint64_t>(v));
+  }
+  return h;
+}
+
+GridDims resolve_dims(const DistOptions& opt, int nranks, const Vec3& box) {
+  if (opt.dims.count() == 0) return auto_dims(nranks, box);
+  if (opt.dims.count() != nranks)
+    throw std::invalid_argument("DistributedDpd: dims cover " +
+                                std::to_string(opt.dims.count()) + " ranks, comm has " +
+                                std::to_string(nranks));
+  return opt.dims;
+}
+
+double resolve_halo(const DistOptions& opt, const DpdParams& prm) {
+  const double floor = prm.rc + prm.skin;
+  if (opt.halo_width == 0.0) return floor;
+  if (opt.halo_width < floor)
+    throw std::invalid_argument("DistributedDpd: halo_width below the rc + skin minimum");
+  return opt.halo_width;
+}
+
+}  // namespace
+
+std::uint64_t trajectory_digest(const DpdSystem& sys) {
+  std::vector<ParticleRecord> recs;
+  recs.reserve(sys.size());
+  for (std::size_t i = 0; i < sys.size(); ++i)
+    if (!sys.is_ghost(i)) recs.push_back(sys.particle_record(i));
+  return digest_records(std::move(recs));
+}
+
+DistributedDpd::DistributedDpd(const xmp::Comm& comm, DpdSystem& sys, DistOptions opt)
+    : comm_(comm),
+      sys_(sys),
+      opt_(opt),
+      decomp_(sys.params().box, sys.params().periodic, resolve_dims(opt, comm.size(), sys.params().box),
+              resolve_halo(opt, sys.params())),
+      migrate_(comm_, decomp_),
+      halo_(comm_, decomp_) {
+  opt_.dims = decomp_.dims();
+  opt_.halo_width = decomp_.halo_width();
+  sys_.set_exchange(this);
+  sys_.set_ghost_pair_filter(true, opt_.mode == HaloMode::ReverseOnce);
+}
+
+DistributedDpd::~DistributedDpd() {
+  sys_.set_exchange(nullptr);
+  sys_.set_ghost_pair_filter(false);
+}
+
+std::vector<ParticleRecord> DistributedDpd::owned_records(const DpdSystem& sys) const {
+  std::vector<ParticleRecord> recs;
+  recs.reserve(sys.owned_count());
+  for (std::size_t i = 0; i < sys.size(); ++i)
+    if (!sys.is_ghost(i)) recs.push_back(sys.particle_record(i));
+  return recs;
+}
+
+void DistributedDpd::capture_ref(const DpdSystem& sys) {
+  const std::size_t n = sys.size();
+  ref_pos_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) ref_pos_[i] = sys.positions()[i];
+}
+
+void DistributedDpd::distribute() {
+  if (distributed_) throw std::logic_error("DistributedDpd: distribute() called twice");
+  // the replicated-setup contract is checkable cheaply: sizes must agree
+  const auto n = static_cast<std::int64_t>(sys_.size());
+  if (comm_.allreduce(n, xmp::Op::Min) != comm_.allreduce(n, xmp::Op::Max))
+    throw std::runtime_error(
+        "DistributedDpd: ranks hold different particle counts — the initial population must "
+        "be built identically on every rank before distribute()");
+  std::vector<ParticleRecord> owned;
+  for (std::size_t i = 0; i < sys_.size(); ++i) {
+    if (sys_.is_ghost(i)) continue;
+    ParticleRecord r = sys_.particle_record(i);
+    if (decomp_.rank_of_position(r.pos) == comm_.rank()) owned.push_back(r);
+  }
+  sys_.reset_particles(halo_.build(owned));
+  capture_ref(sys_);
+  distributed_ = true;
+  rebuild_pending_ = false;
+}
+
+void DistributedDpd::refresh(DpdSystem& sys) {
+  if (!distributed_)
+    throw std::logic_error("DistributedDpd: stepping before distribute() (or restart load)");
+  telemetry::ScopedPhase phase("dpd.exchange");
+  // Rebuild when any owned particle anywhere drifted past skin/2 since the
+  // last rebuild — the same criterion that bounds Verlet-list reuse, and
+  // exactly what keeps the rc+skin halo a superset of every rc partner set.
+  // The decision is an allreduce so every rank takes the same branch.
+  double local = rebuild_pending_ || sys.params().skin <= 0.0
+                     ? std::numeric_limits<double>::infinity()
+                     : 0.0;
+  if (local == 0.0) {
+    const auto& ghost = sys.ghost_mask();
+    for (std::size_t i = 0; i < sys.size(); ++i) {
+      if (ghost[i]) continue;
+      const double d2 = sys.min_image(ref_pos_[i], sys.positions()[i]).norm2();
+      if (d2 > local) local = d2;
+    }
+  }
+  const double lim = 0.5 * sys.params().skin;
+  if (comm_.allreduce(local, xmp::Op::Max) > lim * lim)
+    full_rebuild(sys);
+  else
+    halo_.update(sys);
+}
+
+void DistributedDpd::full_rebuild(DpdSystem& sys) {
+  telemetry::ScopedPhase phase("dpd.exchange.rebuild");
+  sys.reset_particles(halo_.build(migrate_.exchange(owned_records(sys))));
+  capture_ref(sys);
+  rebuild_pending_ = false;
+}
+
+void DistributedDpd::after_pairs(DpdSystem& sys) {
+  if (opt_.mode == HaloMode::ReverseOnce) halo_.reverse(sys);
+}
+
+std::vector<ParticleRecord> DistributedDpd::gather(int root) const {
+  auto mine = owned_records(sys_);
+  auto all = comm_.gatherv(std::span<const ParticleRecord>(mine), root);
+  if (comm_.rank() == root)
+    std::sort(all.begin(), all.end(),
+              [](const ParticleRecord& a, const ParticleRecord& b) { return a.gid < b.gid; });
+  return all;
+}
+
+std::uint64_t DistributedDpd::global_digest() const {
+  auto mine = owned_records(sys_);
+  auto all = comm_.gatherv(std::span<const ParticleRecord>(mine), 0);
+  std::vector<std::uint64_t> h{comm_.rank() == 0 ? digest_records(std::move(all)) : 0};
+  comm_.bcast(h, 0);
+  return h[0];
+}
+
+double DistributedDpd::kinetic_temperature() const {
+  double ke = 0.0, n = 0.0;
+  const auto& ghost = sys_.ghost_mask();
+  const auto& frozen = sys_.frozen();
+  for (std::size_t i = 0; i < sys_.size(); ++i) {
+    if (ghost[i] || frozen[i]) continue;
+    ke += Vec3(sys_.velocities()[i]).norm2();
+    n += 1.0;
+  }
+  ke = comm_.allreduce(ke, xmp::Op::Sum);
+  n = comm_.allreduce(n, xmp::Op::Sum);
+  return n > 0.0 ? ke / (3.0 * n) : 0.0;
+}
+
+Vec3 DistributedDpd::total_momentum() const {
+  Vec3 p{};
+  const auto& ghost = sys_.ghost_mask();
+  const auto& frozen = sys_.frozen();
+  for (std::size_t i = 0; i < sys_.size(); ++i)
+    if (!ghost[i] && !frozen[i]) p += sys_.velocities()[i];
+  const double xyz[3] = {p.x, p.y, p.z};
+  const auto sum = comm_.allreduce(std::span<const double>(xyz, 3), xmp::Op::Sum);
+  return {sum[0], sum[1], sum[2]};
+}
+
+std::int64_t DistributedDpd::global_count() const {
+  return comm_.allreduce(static_cast<std::int64_t>(sys_.owned_count()), xmp::Op::Sum);
+}
+
+namespace {
+struct PlateletRow {
+  std::uint32_t slot = 0;
+  std::uint32_t state = 0;
+  double trigger = 0.0;
+};
+}  // namespace
+
+void DistributedDpd::sync_platelets(PlateletModel& model) {
+  std::vector<PlateletRow> mine;
+  for (std::size_t k = 0; k < model.total(); ++k) {
+    const long li = sys_.local_of(model.particles()[k]);
+    if (li < 0 || sys_.is_ghost(static_cast<std::size_t>(li))) continue;  // owner reports
+    mine.push_back({static_cast<std::uint32_t>(k),
+                    static_cast<std::uint32_t>(model.state_of(k)), model.trigger_time_of(k)});
+  }
+  const auto rows = comm_.allgatherv(std::span<const PlateletRow>(mine));
+  for (const PlateletRow& r : rows) {
+    model.set_slot_state(r.slot, static_cast<PlateletState>(r.state), r.trigger);
+    if (static_cast<PlateletState>(r.state) != PlateletState::Bound) continue;
+    // freeze every local copy (owned or ghost) of a bound platelet; the
+    // owner already froze its own in the update's apply phase
+    const long li = sys_.local_of(model.particles()[r.slot]);
+    if (li < 0) continue;
+    const auto i = static_cast<std::size_t>(li);
+    sys_.frozen()[i] = 1;
+    sys_.velocities()[i] = {};
+  }
+}
+
+void DistributedDpd::save_state(resilience::BlobWriter& w) const {
+  w.pod(static_cast<std::int32_t>(opt_.dims.px));
+  w.pod(static_cast<std::int32_t>(opt_.dims.py));
+  w.pod(static_cast<std::int32_t>(opt_.dims.pz));
+  w.pod(static_cast<std::uint8_t>(opt_.mode));
+  w.pod(opt_.halo_width);
+  w.pod(static_cast<std::uint8_t>(distributed_));
+}
+
+void DistributedDpd::load_state(resilience::BlobReader& r) {
+  GridDims dims;
+  dims.px = r.pod<std::int32_t>();
+  dims.py = r.pod<std::int32_t>();
+  dims.pz = r.pod<std::int32_t>();
+  const auto mode = static_cast<HaloMode>(r.pod<std::uint8_t>());
+  const double halo = r.pod<double>();
+  const bool was_distributed = r.pod<std::uint8_t>() != 0;
+  if (dims.px != opt_.dims.px || dims.py != opt_.dims.py || dims.pz != opt_.dims.pz)
+    throw resilience::LayoutError("DistributedDpd: checkpoint process grid mismatch");
+  if (mode != opt_.mode || halo != opt_.halo_width)
+    throw resilience::LayoutError("DistributedDpd: checkpoint halo mode/width mismatch");
+  distributed_ = was_distributed;
+  // plans and displacement refs are not serialised: force a rebuild, which
+  // re-derives them from the (already loaded) per-rank particle state
+  rebuild_pending_ = true;
+}
+
+}  // namespace dpd::exchange

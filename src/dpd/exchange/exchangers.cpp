@@ -1,0 +1,149 @@
+#include "dpd/exchange/exchangers.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "dpd/exchange/packers.hpp"
+#include "telemetry/registry.hpp"
+
+namespace dpd::exchange {
+
+telemetry::TagClasses comm_tag_classes() {
+  telemetry::TagClasses c;
+  c.add(kTagMigrate, "dpd.migrate");
+  c.add(kTagHaloBuild, "dpd.halo.build");
+  c.add(kTagHaloUpdate, "dpd.halo.update");
+  c.add(kTagReverse, "dpd.reverse");
+  return c;
+}
+
+namespace {
+bool gid_less(const ParticleRecord& a, const ParticleRecord& b) { return a.gid < b.gid; }
+}  // namespace
+
+std::vector<ParticleRecord> MigrationExchanger::exchange(
+    std::vector<ParticleRecord> owned) const {
+  const int me = comm_.rank();
+  const auto& nbrs = decomp_->neighbors(me);
+  std::unordered_map<int, std::size_t> slot;  // neighbour rank -> outbox slot
+  for (std::size_t k = 0; k < nbrs.size(); ++k) slot[nbrs[k]] = k;
+  std::vector<std::vector<ParticleRecord>> outbox(nbrs.size());
+
+  std::vector<ParticleRecord> kept;
+  kept.reserve(owned.size());
+  std::size_t moved = 0;
+  for (const ParticleRecord& r : owned) {
+    const int dst = decomp_->rank_of_position(r.pos);
+    if (dst == me) {
+      kept.push_back(r);
+      continue;
+    }
+    const auto it = slot.find(dst);
+    if (it == slot.end())
+      throw std::runtime_error(
+          "exchange: particle gid " + std::to_string(r.gid) + " migrated from rank " +
+          std::to_string(me) + " past the neighbour shell to rank " + std::to_string(dst) +
+          " (subdomains are too small for the per-rebuild drift; coarsen the grid or raise "
+          "halo_width)");
+    outbox[it->second].push_back(r);
+    ++moved;
+  }
+  for (std::size_t k = 0; k < nbrs.size(); ++k) comm_.send(nbrs[k], kTagMigrate, outbox[k]);
+  for (int d : nbrs) {
+    auto in = comm_.recv<ParticleRecord>(d, kTagMigrate);
+    kept.insert(kept.end(), in.begin(), in.end());
+  }
+  telemetry::count("dpd.migrate.count", static_cast<double>(moved));
+  std::sort(kept.begin(), kept.end(), gid_less);
+  return kept;
+}
+
+std::vector<ParticleRecord> HaloExchanger::build(const std::vector<ParticleRecord>& owned) {
+  const int me = comm_.rank();
+  const auto& nbrs = decomp_->neighbors(me);
+  send_.assign(nbrs.size(), {});
+  recv_.assign(nbrs.size(), {});
+
+  // ship boundary records (flagged as ghosts) to every neighbour whose
+  // subdomain is within halo_width of them; remember the shipped gids so the
+  // send plan can be resolved to slots in the merged layout below
+  std::vector<std::vector<std::uint32_t>> sent_gids(nbrs.size());
+  std::size_t shipped = 0, bytes = 0;
+  {
+    std::vector<ParticleRecord> out;
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      out.clear();
+      for (const ParticleRecord& r : owned)
+        if (decomp_->in_halo_of(r.pos, nbrs[k])) {
+          out.push_back(r);
+          out.back().ghost = 1;
+          sent_gids[k].push_back(r.gid);
+        }
+      comm_.send(nbrs[k], kTagHaloBuild, out);
+      shipped += out.size();
+      bytes += out.size() * sizeof(ParticleRecord);
+    }
+  }
+
+  std::vector<ParticleRecord> merged = owned;
+  std::vector<std::vector<std::uint32_t>> got_gids(nbrs.size());
+  for (std::size_t k = 0; k < nbrs.size(); ++k) {
+    auto in = comm_.recv<ParticleRecord>(nbrs[k], kTagHaloBuild);
+    for (const ParticleRecord& r : in) got_gids[k].push_back(r.gid);
+    merged.insert(merged.end(), in.begin(), in.end());
+  }
+  std::sort(merged.begin(), merged.end(), gid_less);
+
+  std::unordered_map<std::uint32_t, std::uint32_t> local;
+  local.reserve(merged.size());
+  for (std::size_t i = 0; i < merged.size(); ++i)
+    local[merged[i].gid] = static_cast<std::uint32_t>(i);
+  for (std::size_t k = 0; k < nbrs.size(); ++k) {
+    for (std::uint32_t g : sent_gids[k]) send_[k].push_back(local.at(g));
+    for (std::uint32_t g : got_gids[k]) recv_[k].push_back(local.at(g));
+  }
+  telemetry::count("dpd.halo.particles", static_cast<double>(shipped));
+  telemetry::count("dpd.halo.bytes", static_cast<double>(bytes));
+  return merged;
+}
+
+void HaloExchanger::update(DpdSystem& sys) const {
+  const auto& nbrs = decomp_->neighbors(comm_.rank());
+  std::size_t shipped = 0, bytes = 0;
+  std::vector<double> buf;
+  for (std::size_t k = 0; k < nbrs.size(); ++k) {
+    pack_posvel(sys.positions(), sys.velocities(), send_[k], buf);
+    comm_.send(nbrs[k], kTagHaloUpdate, buf);
+    shipped += send_[k].size();
+    bytes += buf.size() * sizeof(double);
+  }
+  for (std::size_t k = 0; k < nbrs.size(); ++k) {
+    auto in = comm_.recv<double>(nbrs[k], kTagHaloUpdate);
+    unpack_posvel(sys.positions(), sys.velocities(), recv_[k], in);
+  }
+  telemetry::count("dpd.halo.particles", static_cast<double>(shipped));
+  telemetry::count("dpd.halo.bytes", static_cast<double>(bytes));
+}
+
+void HaloExchanger::reverse(DpdSystem& sys) const {
+  const auto& nbrs = decomp_->neighbors(comm_.rank());
+  std::size_t bytes = 0;
+  std::vector<double> buf;
+  // ghosts on this rank came from nbrs[k]; their accumulated pair forces go
+  // home along the recv plan and land additively on the owner's send plan
+  // (same particles, same order, by construction in build())
+  for (std::size_t k = 0; k < nbrs.size(); ++k) {
+    pack_lanes(sys.forces(), recv_[k], buf);
+    comm_.send(nbrs[k], kTagReverse, buf);
+    bytes += buf.size() * sizeof(double);
+  }
+  for (std::size_t k = 0; k < nbrs.size(); ++k) {
+    auto in = comm_.recv<double>(nbrs[k], kTagReverse);
+    accumulate_lanes(sys.forces(), send_[k], in);
+  }
+  telemetry::count("dpd.reverse.bytes", static_cast<double>(bytes));
+}
+
+}  // namespace dpd::exchange

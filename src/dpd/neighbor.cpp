@@ -12,7 +12,7 @@ void NeighborList::configure(const NeighborParams& p) {
   invalidate();
 }
 
-bool NeighborList::ensure(const std::vector<Vec3>& pos) {
+bool NeighborList::ensure(const SoA3& pos) {
   if (valid_ && pos.size() == ref_pos_.size()) {
     // Verlet criterion: the list is a superset of the interacting pairs as
     // long as no particle has moved farther than skin/2 since the build.
@@ -33,12 +33,14 @@ bool NeighborList::ensure(const std::vector<Vec3>& pos) {
   return true;
 }
 
-void NeighborList::build(const std::vector<Vec3>& pos) {
+void NeighborList::build(const SoA3& pos) {
   telemetry::ScopedPhase phase("dpd.nlist.build");
   const double rcut = prm_.rc + prm_.skin;
   const double rcut2 = rcut * rcut;
   const std::size_t n = pos.size();
   ref_pos_ = pos;
+  if (ghost_ && ghost_->size() < n)
+    throw std::invalid_argument("NeighborList: pair-filter mask smaller than position array");
 
   // cell grid with cells of size >= rcut
   ncx_ = std::max(1, static_cast<int>(prm_.box.x / rcut));
@@ -67,13 +69,25 @@ void NeighborList::build(const std::vector<Vec3>& pos) {
   degenerate_ = (prm_.periodic[0] && ncx_ < 3) || (prm_.periodic[1] && ncy_ < 3) ||
                 (prm_.periodic[2] && ncz_ < 3);
 
+  // Decomposition filter: drop pairs this rank must not compute. With only
+  // the mask set, both-ghost pairs go (neither member is owned here); with
+  // owned_lower_only the lower-index member must be owned (reverse-exchange
+  // mode computes each cross-face pair on exactly one rank).
+  auto keep = [this](std::uint32_t a, std::uint32_t b) {
+    if (!ghost_) return true;
+    const bool ga = (*ghost_)[a] != 0, gb = (*ghost_)[b] != 0;
+    if (owned_lower_only_) return !ga;
+    return !(ga && gb);
+  };
+
   auto& pairs = pair_scratch_;
   pairs.clear();
   if (degenerate_) {
     for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t j = i + 1; j < n; ++j)
-        if (min_image(pos[i], pos[j]).norm2() < rcut2)
-          pairs.emplace_back(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j));
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const auto a = static_cast<std::uint32_t>(i), b = static_cast<std::uint32_t>(j);
+        if (keep(a, b) && min_image(pos[i], pos[j]).norm2() < rcut2) pairs.emplace_back(a, b);
+      }
   } else {
     // half stencil of neighbour cell offsets (13 + same cell)
     static constexpr int kOff[13][3] = {{1, 0, 0},  {0, 1, 0},  {0, 0, 1},  {1, 1, 0},
@@ -94,11 +108,9 @@ void NeighborList::build(const std::vector<Vec3>& pos) {
     };
     auto push = [&](long i, long j) {
       const auto ii = static_cast<std::size_t>(i), jj = static_cast<std::size_t>(j);
-      if (min_image(pos[ii], pos[jj]).norm2() < rcut2) {
-        const auto a = static_cast<std::uint32_t>(std::min(i, j));
-        const auto b = static_cast<std::uint32_t>(std::max(i, j));
-        pairs.emplace_back(a, b);
-      }
+      const auto a = static_cast<std::uint32_t>(std::min(i, j));
+      const auto b = static_cast<std::uint32_t>(std::max(i, j));
+      if (keep(a, b) && min_image(pos[ii], pos[jj]).norm2() < rcut2) pairs.emplace_back(a, b);
     };
     for (int cz = 0; cz < ncz_; ++cz)
       for (int cy = 0; cy < ncy_; ++cy)

@@ -13,7 +13,15 @@
 // of the particle state alone, not of when the list was last rebuilt. That
 // is what keeps checkpoint/restart bitwise identical even though a restart
 // rebuilds the list while an uninterrupted run may still be reusing an
-// older (valid) one.
+// older (valid) one. Under spatial decomposition (exchange/) the same
+// property extends across ranks: local arrays are kept sorted by global
+// particle ID, so index order == gid order and every rank accumulates an
+// owned particle's pair forces in exactly the single-rank order.
+//
+// Positions are structure-of-arrays (soa.hpp); build/ensure/query stream
+// the flat x/y/z lanes. An optional ghost-pair filter drops pairs no rank
+// is responsible for (both-ghost pairs, or — in the reverse-exchange mode —
+// pairs whose lower member is a ghost).
 //
 // The same cell grid serves point queries (query()) for sparse secondary
 // scans — platelet adhesion and thrombus-arrest checks — which would
@@ -25,6 +33,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "dpd/soa.hpp"
 #include "dpd/types.hpp"
 
 namespace dpd {
@@ -45,10 +54,22 @@ public:
   void configure(const NeighborParams& p);
   const NeighborParams& params() const { return prm_; }
 
+  /// Exclude pairs from the half list that no local computation needs:
+  /// with `is_ghost` set, both-ghost pairs are skipped; with
+  /// `owned_lower_only` additionally every pair whose *lower-index* member
+  /// is a ghost (reverse-exchange mode: the lower member's owner computes
+  /// the pair). Pass nullptr to clear. The mask must outlive the list and
+  /// cover every particle at build time; changing it invalidates the list.
+  void set_pair_filter(const std::vector<char>* is_ghost, bool owned_lower_only = false) {
+    ghost_ = is_ghost;
+    owned_lower_only_ = owned_lower_only;
+    invalidate();
+  }
+
   /// Make the list valid for `pos`: reuse it when every particle has moved
   /// less than skin/2 since the last build, rebuild otherwise. Returns true
   /// iff a rebuild happened.
-  bool ensure(const std::vector<Vec3>& pos);
+  bool ensure(const SoA3& pos);
 
   /// Drop the list (particle insertion/deletion, wholesale state reload).
   void invalidate() { valid_ = false; }
@@ -89,7 +110,7 @@ public:
   /// Visit every interacting pair (r < rc at *current* positions) once:
   /// fn(i, j, dr = xj - xi minimum image, r). Requires a valid list.
   template <class Fn>
-  void for_each(const std::vector<Vec3>& pos, Fn&& fn) const {
+  void for_each(const SoA3& pos, Fn&& fn) const {
     const double rc2 = prm_.rc * prm_.rc;
     const std::size_t n = offsets_.empty() ? 0 : offsets_.size() - 1;
     for (std::size_t i = 0; i < n; ++i) {
@@ -108,7 +129,7 @@ public:
   /// the grid bins build-time positions. The caller must have ensure()d the
   /// list against the same position array.
   template <class Fn>
-  void query(const std::vector<Vec3>& pos, const Vec3& p, double cutoff, Fn&& fn) const {
+  void query(const SoA3& pos, const Vec3& p, double cutoff, Fn&& fn) const {
     const double c2 = cutoff * cutoff;
     if (!valid_) {
       for (std::size_t j = 0; j < pos.size(); ++j) {
@@ -141,7 +162,7 @@ public:
   }
 
 private:
-  void build(const std::vector<Vec3>& pos);
+  void build(const SoA3& pos);
 
   void wrap(Vec3& p) const {
     auto wrap1 = [](double v, double L) {
@@ -187,12 +208,16 @@ private:
   bool valid_ = false;
   bool degenerate_ = false;
 
+  // optional decomposition pair filter (see set_pair_filter)
+  const std::vector<char>* ghost_ = nullptr;
+  bool owned_lower_only_ = false;
+
   // cell grid over build-time positions
   int ncx_ = 0, ncy_ = 0, ncz_ = 0;
   double csx_ = 0.0, csy_ = 0.0, csz_ = 0.0;
   std::vector<long> cell_head_, cell_next_;
 
-  std::vector<Vec3> ref_pos_;  ///< positions at build time (rebuild trigger)
+  SoA3 ref_pos_;  ///< positions at build time (rebuild trigger)
   std::vector<std::size_t> offsets_;
   std::vector<std::uint32_t> neighbors_;
   std::vector<std::pair<std::uint32_t, std::uint32_t>> pair_scratch_;

@@ -13,9 +13,9 @@ PlateletModel::PlateletModel(PlateletParams p) : prm_(std::move(p)) {
     prm_.adhesive_region = [](const Vec3&) { return true; };
 }
 
-void PlateletModel::add_platelet(std::size_t particle_index) {
-  index_of_[particle_index] = particles_.size();
-  particles_.push_back(particle_index);
+void PlateletModel::add_platelet(std::uint32_t gid) {
+  index_of_[gid] = particles_.size();
+  particles_.push_back(gid);
   state_.push_back(PlateletState::Passive);
   trigger_time_.push_back(-1.0);
 }
@@ -35,7 +35,7 @@ void PlateletModel::seed_platelets(DpdSystem& sys, std::size_t count, unsigned s
     ++attempts;
     Vec3 p{ux(rng), uy(rng), uz(rng)};
     if (sys.geometry().sdf(p) < 1.0) continue;
-    add_platelet(sys.add_particle(p, {th(rng), th(rng), th(rng)}, kPlatelet));
+    add_platelet(sys.gid_of(sys.add_particle(p, {th(rng), th(rng), th(rng)}, kPlatelet)));
     ++placed;
   }
   if (placed < count) throw std::runtime_error("seed_platelets: domain too small");
@@ -44,28 +44,37 @@ void PlateletModel::seed_platelets(DpdSystem& sys, std::size_t count, unsigned s
 void PlateletModel::add_forces(DpdSystem& sys) {
   auto& pos = sys.positions();
   auto& frc = sys.forces();
+  const auto& ghost = sys.ghost_mask();
   const std::size_t np = particles_.size();
 
   // platelet-platelet adhesion (Active/Bound only): candidates come from
   // the engine's cell grid instead of an all-platelet rescan. Each pair is
-  // discovered once (from its lower particle index) and the collected set
-  // is applied in sorted order so the force accumulation stays
-  // deterministic regardless of grid layout (bitwise restarts).
+  // discovered once (from its lower-gid member) and the collected set is
+  // applied in sorted gid order so the force accumulation stays
+  // deterministic regardless of grid layout and of decomposition (the same
+  // pair subsequence reaches an owned particle on every rank layout).
   sys.ensure_neighbors();
   adhesive_pairs_.clear();
   for (std::size_t a = 0; a < np; ++a) {
     if (state_[a] != PlateletState::Active && state_[a] != PlateletState::Bound) continue;
-    const std::size_t i = particles_[a];
+    const long la = sys.local_of(particles_[a]);
+    if (la < 0) continue;  // not resident on this rank
+    const auto i = static_cast<std::size_t>(la);
+    const std::uint32_t gi = particles_[a];
     sys.query_neighbors(pos[i], prm_.adhesion_cutoff, [&](std::size_t j, const Vec3&, double) {
-      if (j <= i) return;
-      const std::size_t b = platelet_of(j);
+      const std::uint32_t gj = sys.gid_of(j);
+      if (gj <= gi) return;
+      const std::size_t b = platelet_of(gj);
       if (b == static_cast<std::size_t>(-1)) return;
       if (state_[b] != PlateletState::Active && state_[b] != PlateletState::Bound) return;
-      adhesive_pairs_.emplace_back(i, j);
+      adhesive_pairs_.emplace_back(gi, gj);
     });
   }
   std::sort(adhesive_pairs_.begin(), adhesive_pairs_.end());
-  for (const auto& [i, j] : adhesive_pairs_) {
+  for (const auto& [gi, gj] : adhesive_pairs_) {
+    // both endpoints resolved locally: discovery touched both slots
+    const auto i = static_cast<std::size_t>(sys.local_of(gi));
+    const auto j = static_cast<std::size_t>(sys.local_of(gj));
     const Vec3 dr = sys.min_image(pos[i], pos[j]);
     const double r = dr.norm();
     if (r > prm_.adhesion_cutoff || r < 1e-9) continue;
@@ -75,14 +84,17 @@ void PlateletModel::add_forces(DpdSystem& sys) {
     // f > 0 for r < r0 (repulsion), f < 0 for r > r0 (attraction):
     // force on i along -er scaled by f
     const Vec3 er = dr * (1.0 / r);
-    frc[i] -= er * f;
-    frc[j] += er * f;
+    if (!ghost[i]) frc[i] -= er * f;
+    if (!ghost[j]) frc[j] += er * f;
   }
 
   // active platelets are pulled towards adhesive wall regions
   for (std::size_t a = 0; a < np; ++a) {
     if (state_[a] != PlateletState::Active) continue;
-    const std::size_t i = particles_[a];
+    const long la = sys.local_of(particles_[a]);
+    if (la < 0) continue;
+    const auto i = static_cast<std::size_t>(la);
+    if (ghost[i]) continue;  // per-particle term: the owner applies it
     if (!prm_.adhesive_region(pos[i])) continue;
     const double d = sys.geometry().sdf(pos[i]);
     if (d > prm_.adhesion_cutoff) continue;
@@ -90,14 +102,13 @@ void PlateletModel::add_forces(DpdSystem& sys) {
   }
 }
 
-void PlateletModel::on_remap(const std::vector<long>& new_index) {
-  std::vector<std::size_t> np_;
+void PlateletModel::on_remove_gids(const std::vector<std::uint32_t>& gids) {
+  std::vector<std::uint32_t> np_;
   std::vector<PlateletState> ns_;
   std::vector<double> nt_;
   for (std::size_t k = 0; k < particles_.size(); ++k) {
-    const long ni = new_index[particles_[k]];
-    if (ni < 0) continue;
-    np_.push_back(static_cast<std::size_t>(ni));
+    if (std::find(gids.begin(), gids.end(), particles_[k]) != gids.end()) continue;
+    np_.push_back(particles_[k]);
     ns_.push_back(state_[k]);
     nt_.push_back(trigger_time_[k]);
   }
@@ -111,22 +122,31 @@ void PlateletModel::update(DpdSystem& sys) {
   const double t = sys.time();
   auto& pos = sys.positions();
   auto& vel = sys.velocities();
+  const auto& ghost = sys.ghost_mask();
+  // Two-phase: decide every transition against the pre-update states, then
+  // apply. Arrest-onto-bound therefore sees last step's thrombus only —
+  // independent of slot order and of which rank owns which platelet.
+  next_state_ = state_;
+  next_trigger_ = trigger_time_;
   for (std::size_t k = 0; k < particles_.size(); ++k) {
-    const std::size_t i = particles_[k];
+    const long lk = sys.local_of(particles_[k]);
+    if (lk < 0) continue;
+    const auto i = static_cast<std::size_t>(lk);
+    if (ghost[i]) continue;  // the owner decides this platelet's transitions
     switch (state_[k]) {
       case PlateletState::Passive:
         if (prm_.adhesive_region(pos[i]) &&
             sys.geometry().sdf(pos[i]) < prm_.trigger_distance) {
-          state_[k] = PlateletState::Triggered;
-          trigger_time_[k] = t;
+          next_state_[k] = PlateletState::Triggered;
+          next_trigger_[k] = t;
         }
         break;
       case PlateletState::Triggered:
         if (t - trigger_time_[k] >= prm_.activation_delay)
-          state_[k] = PlateletState::Active;
+          next_state_[k] = PlateletState::Active;
         break;
       case PlateletState::Active: {
-        const double speed = vel[i].norm();
+        const double speed = Vec3(vel[i]).norm();
         bool arrest = false;
         if (prm_.adhesive_region(pos[i]) &&
             sys.geometry().sdf(pos[i]) < prm_.bind_distance && speed < prm_.bind_speed)
@@ -138,22 +158,30 @@ void PlateletModel::update(DpdSystem& sys) {
           sys.query_neighbors(pos[i], prm_.bind_distance,
                               [&](std::size_t j, const Vec3&, double r2) {
                                 if (arrest || j == i) return;
-                                const std::size_t b = platelet_of(j);
+                                const std::size_t b = platelet_of(sys.gid_of(j));
                                 if (b == static_cast<std::size_t>(-1)) return;
                                 if (state_[b] != PlateletState::Bound) return;
                                 if (r2 < prm_.bind_distance * prm_.bind_distance) arrest = true;
                               });
         }
-        if (arrest) {
-          state_[k] = PlateletState::Bound;
-          sys.frozen()[i] = 1;
-          vel[i] = {};
-        }
+        if (arrest) next_state_[k] = PlateletState::Bound;
         break;
       }
       case PlateletState::Bound:
         break;
     }
+  }
+  for (std::size_t k = 0; k < particles_.size(); ++k) {
+    if (next_state_[k] == PlateletState::Bound && state_[k] != PlateletState::Bound) {
+      const long lk = sys.local_of(particles_[k]);
+      if (lk >= 0) {
+        const auto i = static_cast<std::size_t>(lk);
+        sys.frozen()[i] = 1;
+        vel[i] = {};
+      }
+    }
+    state_[k] = next_state_[k];
+    trigger_time_[k] = next_trigger_[k];
   }
 }
 
@@ -171,7 +199,7 @@ void PlateletModel::save_state(resilience::BlobWriter& w) const {
 }
 
 void PlateletModel::load_state(resilience::BlobReader& r) {
-  particles_ = r.vec<std::size_t>();
+  particles_ = r.vec<std::uint32_t>();
   state_ = r.vec<PlateletState>();
   trigger_time_ = r.vec<double>();
   if (state_.size() != particles_.size() || trigger_time_.size() != particles_.size())

@@ -1,0 +1,145 @@
+#pragma once
+// Structure-of-arrays particle storage (the PR's SoA refactor, cf. Mirheo's
+// core/pvs/): the engine keeps positions/velocities/forces as three flat
+// double lanes (x_, y_, z_) so the pair-gather loop, the halo/migration
+// packers and the AVX2 force kernel stream contiguous memory, while a thin
+// Vec3Ref proxy keeps every existing call site (`pos[i].x`, `vel[i] += dv`,
+// range-for) source-compatible with the old std::vector<Vec3> interface.
+
+#include <cstddef>
+#include <vector>
+
+#include "dpd/types.hpp"
+
+namespace dpd {
+
+/// Mutable view of one SoA slot, convertible to/assignable from Vec3.
+struct Vec3Ref {
+  double& x;
+  double& y;
+  double& z;
+
+  operator Vec3() const { return {x, y, z}; }
+  Vec3Ref& operator=(const Vec3& v) {
+    x = v.x;
+    y = v.y;
+    z = v.z;
+    return *this;
+  }
+  Vec3Ref& operator=(const Vec3Ref& o) { return *this = Vec3(o); }
+  Vec3Ref& operator+=(const Vec3& v) {
+    x += v.x;
+    y += v.y;
+    z += v.z;
+    return *this;
+  }
+  Vec3Ref& operator-=(const Vec3& v) {
+    x -= v.x;
+    y -= v.y;
+    z -= v.z;
+    return *this;
+  }
+  Vec3 operator+(const Vec3& v) const { return Vec3(*this) + v; }
+  Vec3 operator-(const Vec3& v) const { return Vec3(*this) - v; }
+  Vec3 operator*(double s) const { return Vec3(*this) * s; }
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  double norm2() const { return x * x + y * y + z * z; }
+  double norm() const { return Vec3(*this).norm(); }
+};
+
+struct ConstVec3Ref {
+  const double& x;
+  const double& y;
+  const double& z;
+
+  operator Vec3() const { return {x, y, z}; }
+  Vec3 operator+(const Vec3& v) const { return Vec3(*this) + v; }
+  Vec3 operator-(const Vec3& v) const { return Vec3(*this) - v; }
+  Vec3 operator*(double s) const { return Vec3(*this) * s; }
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  double norm2() const { return x * x + y * y + z * z; }
+  double norm() const { return Vec3(*this).norm(); }
+};
+
+/// Three flat double lanes addressed as one array of Vec3-like slots.
+class SoA3 {
+public:
+  SoA3() = default;
+  explicit SoA3(std::size_t n) { resize(n); }
+
+  std::size_t size() const { return x_.size(); }
+  bool empty() const { return x_.empty(); }
+  void resize(std::size_t n) {
+    x_.resize(n);
+    y_.resize(n);
+    z_.resize(n);
+  }
+  void assign(std::size_t n, const Vec3& v) {
+    x_.assign(n, v.x);
+    y_.assign(n, v.y);
+    z_.assign(n, v.z);
+  }
+  void clear() {
+    x_.clear();
+    y_.clear();
+    z_.clear();
+  }
+  void reserve(std::size_t n) {
+    x_.reserve(n);
+    y_.reserve(n);
+    z_.reserve(n);
+  }
+  void push_back(const Vec3& v) {
+    x_.push_back(v.x);
+    y_.push_back(v.y);
+    z_.push_back(v.z);
+  }
+
+  Vec3Ref operator[](std::size_t i) { return {x_[i], y_[i], z_[i]}; }
+  ConstVec3Ref operator[](std::size_t i) const { return {x_[i], y_[i], z_[i]}; }
+  Vec3 get(std::size_t i) const { return {x_[i], y_[i], z_[i]}; }
+  void set(std::size_t i, const Vec3& v) {
+    x_[i] = v.x;
+    y_[i] = v.y;
+    z_[i] = v.z;
+  }
+
+  // raw lane access (pack/unpack, SIMD gather loops, checkpoint codec)
+  std::vector<double>& xs() { return x_; }
+  std::vector<double>& ys() { return y_; }
+  std::vector<double>& zs() { return z_; }
+  const std::vector<double>& xs() const { return x_; }
+  const std::vector<double>& ys() const { return y_; }
+  const std::vector<double>& zs() const { return z_; }
+
+  void swap(SoA3& o) {
+    x_.swap(o.x_);
+    y_.swap(o.y_);
+    z_.swap(o.z_);
+  }
+
+  /// Proxy iterator so range-for over positions()/velocities() keeps working.
+  template <class S, class Ref>
+  struct Iter {
+    S* soa;
+    std::size_t i;
+    Ref operator*() const { return (*soa)[i]; }
+    Iter& operator++() {
+      ++i;
+      return *this;
+    }
+    bool operator!=(const Iter& o) const { return i != o.i; }
+    bool operator==(const Iter& o) const { return i == o.i; }
+  };
+  auto begin() { return Iter<SoA3, Vec3Ref>{this, 0}; }
+  auto end() { return Iter<SoA3, Vec3Ref>{this, size()}; }
+  auto begin() const { return Iter<const SoA3, ConstVec3Ref>{this, 0}; }
+  auto end() const { return Iter<const SoA3, ConstVec3Ref>{this, size()}; }
+
+private:
+  std::vector<double> x_, y_, z_;
+};
+
+inline void swap(SoA3& a, SoA3& b) { a.swap(b); }
+
+}  // namespace dpd

@@ -45,12 +45,18 @@ void DpdSystem::PairBatch::resize(std::size_t m) {
 }
 
 std::size_t DpdSystem::add_particle(const Vec3& pos, const Vec3& vel, Species s) {
+  if (distributed())
+    throw std::logic_error("DpdSystem: add_particle while decomposed (unsupported)");
   pos_.push_back(pos);
   vel_.push_back(vel);
   frc_.push_back({});
   frc_old_.push_back({});
   species_.push_back(s);
   frozen_.push_back(0);
+  gid_.push_back(next_gid_);
+  is_ghost_.push_back(0);
+  gid_to_local_[next_gid_] = static_cast<std::uint32_t>(pos_.size() - 1);
+  ++next_gid_;
   nlist_.invalidate();
   return pos_.size() - 1;
 }
@@ -84,11 +90,18 @@ std::size_t DpdSystem::fill(double density, Species s, unsigned seed, double mar
 
 void DpdSystem::remove_particles(std::vector<std::size_t> idx) {
   if (idx.empty()) return;
+  if (distributed())
+    throw std::logic_error("DpdSystem: remove_particles while decomposed (unsupported)");
   std::sort(idx.begin(), idx.end());
   idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
   const std::size_t n = pos_.size();
   std::vector<char> dead(n, 0);
-  for (std::size_t i : idx) dead[i] = 1;
+  std::vector<std::uint32_t> dead_gids;
+  dead_gids.reserve(idx.size());
+  for (std::size_t i : idx) {
+    dead[i] = 1;
+    dead_gids.push_back(gid_[i]);
+  }
   std::vector<long> new_index(n, -1);
   std::size_t w = 0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -101,6 +114,8 @@ void DpdSystem::remove_particles(std::vector<std::size_t> idx) {
       frc_old_[w] = frc_old_[i];
       species_[w] = species_[i];
       frozen_[w] = frozen_[i];
+      gid_[w] = gid_[i];
+      is_ghost_[w] = is_ghost_[i];
     }
     ++w;
   }
@@ -110,8 +125,69 @@ void DpdSystem::remove_particles(std::vector<std::size_t> idx) {
   frc_old_.resize(w);
   species_.resize(w);
   frozen_.resize(w);
+  gid_.resize(w);
+  is_ghost_.resize(w);
+  rebuild_gid_map();
   nlist_.on_remap(new_index);
-  for (auto& m : modules_) m->on_remap(new_index);
+  for (auto& m : modules_) {
+    m->on_remap(new_index);
+    m->on_remove_gids(dead_gids);
+  }
+}
+
+void DpdSystem::rebuild_gid_map() {
+  gid_to_local_.clear();
+  gid_to_local_.reserve(gid_.size());
+  for (std::size_t i = 0; i < gid_.size(); ++i)
+    gid_to_local_[gid_[i]] = static_cast<std::uint32_t>(i);
+}
+
+std::size_t DpdSystem::owned_count() const {
+  std::size_t c = 0;
+  for (char g : is_ghost_)
+    if (!g) ++c;
+  return c;
+}
+
+ParticleRecord DpdSystem::particle_record(std::size_t i) const {
+  ParticleRecord r;
+  r.gid = gid_[i];
+  r.species = static_cast<std::uint8_t>(species_[i]);
+  r.frozen = static_cast<std::uint8_t>(frozen_[i]);
+  r.ghost = static_cast<std::uint8_t>(is_ghost_[i]);
+  r.pos = pos_[i];
+  r.vel = vel_[i];
+  // the integrator scratch may not be sized yet (before the first step)
+  r.aux_vel = i < v_pred_.size() ? Vec3(v_pred_[i]) : Vec3{};
+  r.frc_old = frc_old_[i];
+  return r;
+}
+
+void DpdSystem::reset_particles(const std::vector<ParticleRecord>& recs) {
+  const std::size_t n = recs.size();
+  pos_.resize(n);
+  vel_.resize(n);
+  frc_.resize(n);
+  frc_old_.resize(n);
+  v_pred_.resize(n);
+  species_.resize(n);
+  frozen_.resize(n);
+  gid_.resize(n);
+  is_ghost_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ParticleRecord& r = recs[i];
+    pos_.set(i, r.pos);
+    vel_.set(i, r.vel);
+    v_pred_.set(i, r.aux_vel);
+    frc_.set(i, {});
+    frc_old_.set(i, r.frc_old);
+    species_[i] = static_cast<Species>(r.species);
+    frozen_[i] = static_cast<char>(r.frozen);
+    gid_[i] = r.gid;
+    is_ghost_[i] = static_cast<char>(r.ghost);
+  }
+  rebuild_gid_map();
+  nlist_.invalidate();
 }
 
 void DpdSystem::wrap(Vec3& p) const {
@@ -164,7 +240,9 @@ void DpdSystem::pair_forces() {
   // run to the SIMD kernel, then scatter only the in-range lanes. Skipping
   // out-of-range lanes entirely — rather than zeroing them — keeps the
   // floating-point accumulation order a function of the particle state
-  // alone, independent of when the list was built (bitwise restarts).
+  // alone, independent of when the list was built (bitwise restarts). The
+  // noise is keyed on *global* IDs, so a pair's random stream is invariant
+  // to index compaction and to which rank computes it.
   ensure_neighbors();
   const double rc2 = prm_.rc * prm_.rc;
   const double inv_rc = 1.0 / prm_.rc;
@@ -172,6 +250,22 @@ void DpdSystem::pair_forces() {
   const auto& offs = nlist_.offsets();
   const auto& nbr = nlist_.neighbors();
   const std::size_t n = pos_.size();
+  const double* px = pos_.xs().data();
+  const double* py = pos_.ys().data();
+  const double* pz = pos_.zs().data();
+  const double* ux = vel_.xs().data();
+  const double* uy = vel_.ys().data();
+  const double* uz = vel_.zs().data();
+  double* gx = frc_.xs().data();
+  double* gy = frc_.ys().data();
+  double* gz = frc_.zs().data();
+  const double bx = prm_.box.x, by = prm_.box.y, bz = prm_.box.z;
+  const bool perx = prm_.periodic[0], pery = prm_.periodic[1], perz = prm_.periodic[2];
+  auto mi = [](double v, double L) {
+    if (v > 0.5 * L) return v - L;
+    if (v < -0.5 * L) return v + L;
+    return v;
+  };
   auto& b = batch_;
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t lo = offs[i], hi = offs[i + 1];
@@ -182,19 +276,25 @@ void DpdSystem::pair_forces() {
     const double* a_row = &a_tab_[static_cast<std::size_t>(si) * kNumSpecies];
     const double* g_row = &g_tab_[static_cast<std::size_t>(si) * kNumSpecies];
     const double* s_row = &sig_tab_[static_cast<std::size_t>(si) * kNumSpecies];
+    const double xi = px[i], yi = py[i], zi = pz[i];
+    const double uxi = ux[i], uyi = uy[i], uzi = uz[i];
+    const std::uint32_t gi = gid_[i];
     for (std::size_t k = 0; k < m; ++k) {
       const std::size_t j = nbr[lo + k];
-      const Vec3 dr = min_image(pos_[i], pos_[j]);
-      b.dx[k] = dr.x;
-      b.dy[k] = dr.y;
-      b.dz[k] = dr.z;
-      b.r2[k] = dr.norm2();
-      const Vec3 dv = vel_[j] - vel_[i];
-      b.dvx[k] = dv.x;
-      b.dvy[k] = dv.y;
-      b.dvz[k] = dv.z;
-      b.zeta[k] = pair_gaussian_like(step_, static_cast<std::uint32_t>(i),
-                                     static_cast<std::uint32_t>(j));
+      double dx = px[j] - xi;
+      double dy = py[j] - yi;
+      double dz = pz[j] - zi;
+      if (perx) dx = mi(dx, bx);
+      if (pery) dy = mi(dy, by);
+      if (perz) dz = mi(dz, bz);
+      b.dx[k] = dx;
+      b.dy[k] = dy;
+      b.dz[k] = dz;
+      b.r2[k] = dx * dx + dy * dy + dz * dz;
+      b.dvx[k] = ux[j] - uxi;
+      b.dvy[k] = uy[j] - uyi;
+      b.dvz[k] = uz[j] - uzi;
+      b.zeta[k] = pair_gaussian_like(step_, gi, gid_[j]);
       const Species sj = species_[j];
       b.a[k] = a_row[sj];
       b.g[k] = g_row[sj];
@@ -209,12 +309,12 @@ void DpdSystem::pair_forces() {
     for (std::size_t k = 0; k < m; ++k) {
       if (b.r2[k] >= rc2 || b.r2[k] <= 1e-20) continue;
       const std::size_t j = nbr[lo + k];
-      frc_[i].x -= b.fx[k];
-      frc_[i].y -= b.fy[k];
-      frc_[i].z -= b.fz[k];
-      frc_[j].x += b.fx[k];
-      frc_[j].y += b.fy[k];
-      frc_[j].z += b.fz[k];
+      gx[i] -= b.fx[k];
+      gy[i] -= b.fy[k];
+      gz[i] -= b.fz[k];
+      gx[j] += b.fx[k];
+      gy[j] += b.fy[k];
+      gz[j] += b.fz[k];
     }
   }
 }
@@ -222,23 +322,28 @@ void DpdSystem::pair_forces() {
 void DpdSystem::compute_forces() {
   telemetry::ScopedPhase phase("dpd.forces");
   const std::size_t n = pos_.size();
-  for (std::size_t i = 0; i < n; ++i) frc_[i] = {};
+  frc_.assign(n, {});
   pair_forces();
+  // Reverse-exchange seam: frc_ holds only pair contributions here, so a
+  // driver in owned-lower-only mode can ship ghost accumulations to their
+  // owners without double-counting the per-particle terms below.
+  if (exchange_) exchange_->after_pairs(*this);
   // effective wall boundary force: normal repulsion + dissipative friction
   // + the fluctuation-dissipation-matched random kicks (a particle wall
   // would deliver both; omitting the random part cools the near-wall fluid)
   const double sig_w = std::sqrt(2.0 * prm_.wall_gamma * prm_.kBT);
   const double inv_sqrt_dt_w = 1.0 / std::sqrt(prm_.dt);
   for (std::size_t i = 0; i < n; ++i) {
-    const double d = geom_->sdf(pos_[i]);
+    const Vec3 p = pos_[i];
+    const double d = geom_->sdf(p);
     if (d < prm_.rc) {
       const double w = 1.0 - std::max(d, 0.0) / prm_.rc;
-      frc_[i] += geom_->normal(pos_[i]) * (prm_.wall_force * w * w);
+      frc_[i] += geom_->normal(p) * (prm_.wall_force * w * w);
       frc_[i] -= vel_[i] * (prm_.wall_gamma * w * w);
-      const auto ii = static_cast<std::uint32_t>(i);
-      frc_[i] += Vec3{pair_gaussian_like(step_ * 3 + 0, ii, ii),
-                      pair_gaussian_like(step_ * 3 + 1, ii, ii),
-                      pair_gaussian_like(step_ * 3 + 2, ii, ii)} *
+      const std::uint32_t gi = gid_[i];
+      frc_[i] += Vec3{pair_gaussian_like(step_ * 3 + 0, gi, gi),
+                      pair_gaussian_like(step_ * 3 + 1, gi, gi),
+                      pair_gaussian_like(step_ * 3 + 2, gi, gi)} *
                  (sig_w * w * inv_sqrt_dt_w);
     }
   }
@@ -258,35 +363,48 @@ void DpdSystem::reflect_walls(std::size_t i) {
 
 void DpdSystem::step() {
   telemetry::ScopedPhase phase("dpd.step");
-  const std::size_t n = pos_.size();
   const double dt = prm_.dt;
-  if (step_ == 0) compute_forces();
+  if (step_ == 0) {
+    if (exchange_) exchange_->refresh(*this);
+    compute_forces();
+  }
 
   // Groot-Warren modified velocity-Verlet. v_pred_ is a persistent scratch
   // buffer (reallocating it every step showed up in the step profile);
   // every entry is written before use, so no re-initialisation is needed.
+  // Ghost particles are integrated by their owning rank; the exchange hook
+  // refreshes their position/velocity images before each force pass.
+  const std::size_t n = pos_.size();
   v_pred_.resize(n);
   {
     telemetry::ScopedPhase integrate("dpd.integrate");
     for (std::size_t i = 0; i < n; ++i) {
-      if (frozen_[i]) {
+      if (is_ghost_[i] || frozen_[i]) {
         v_pred_[i] = {};
         continue;
       }
       pos_[i] += vel_[i] * dt + frc_[i] * (0.5 * dt * dt);
       v_pred_[i] = vel_[i] + frc_[i] * (prm_.lambda * dt);
-      wrap(pos_[i]);
+      Vec3 p = pos_[i];
+      wrap(p);
+      pos_[i] = p;
       reflect_walls(i);
     }
   }
   frc_old_ = frc_;
-  // force evaluation at predicted velocities
-  std::swap(vel_, v_pred_);
+  // force evaluation at predicted velocities (vel_ holds the prediction
+  // between the swaps; the refresh therefore ships predicted velocities to
+  // ghosts, which is exactly what the force evaluation needs)
+  vel_.swap(v_pred_);
+  if (exchange_) exchange_->refresh(*this);
   compute_forces();
-  std::swap(vel_, v_pred_);
+  vel_.swap(v_pred_);
   {
     telemetry::ScopedPhase integrate("dpd.integrate");
-    for (std::size_t i = 0; i < n; ++i) {
+    // the refresh may have migrated particles: re-read the size
+    const std::size_t nn = pos_.size();
+    for (std::size_t i = 0; i < nn; ++i) {
+      if (is_ghost_[i]) continue;
       if (frozen_[i]) {
         vel_[i] = {};
         continue;
@@ -301,7 +419,7 @@ double DpdSystem::kinetic_temperature() const {
   double ke = 0.0;
   std::size_t n = 0;
   for (std::size_t i = 0; i < pos_.size(); ++i) {
-    if (frozen_[i]) continue;
+    if (is_ghost_[i] || frozen_[i]) continue;
     ke += vel_[i].norm2();
     ++n;
   }
@@ -312,41 +430,67 @@ double DpdSystem::kinetic_temperature() const {
 Vec3 DpdSystem::total_momentum() const {
   Vec3 p{};
   for (std::size_t i = 0; i < pos_.size(); ++i)
-    if (!frozen_[i]) p += vel_[i];
+    if (!is_ghost_[i] && !frozen_[i]) p += vel_[i];
   return p;
 }
 
 std::size_t DpdSystem::count_species(Species s) const {
   std::size_t c = 0;
-  for (Species sp : species_)
-    if (sp == s) ++c;
+  for (std::size_t i = 0; i < species_.size(); ++i)
+    if (!is_ghost_[i] && species_[i] == s) ++c;
   return c;
 }
 
 void DpdSystem::save_state(resilience::BlobWriter& w) const {
   w.pod(step_);
-  w.vec(pos_);
-  w.vec(vel_);
-  w.vec(frc_);
-  w.vec(frc_old_);
+  w.vec(pos_.xs());
+  w.vec(pos_.ys());
+  w.vec(pos_.zs());
+  w.vec(vel_.xs());
+  w.vec(vel_.ys());
+  w.vec(vel_.zs());
+  w.vec(frc_.xs());
+  w.vec(frc_.ys());
+  w.vec(frc_.zs());
+  w.vec(frc_old_.xs());
+  w.vec(frc_old_.ys());
+  w.vec(frc_old_.zs());
   w.vec(species_);
   w.vec(frozen_);
+  w.vec(gid_);
+  w.vec(is_ghost_);
+  w.pod(next_gid_);
   resilience::put_rng(w, rng_);
 }
 
 void DpdSystem::load_state(resilience::BlobReader& r) {
   r.pod(step_);
-  pos_ = r.vec<Vec3>();
-  vel_ = r.vec<Vec3>();
-  frc_ = r.vec<Vec3>();
-  frc_old_ = r.vec<Vec3>();
+  pos_.xs() = r.vec<double>();
+  pos_.ys() = r.vec<double>();
+  pos_.zs() = r.vec<double>();
+  vel_.xs() = r.vec<double>();
+  vel_.ys() = r.vec<double>();
+  vel_.zs() = r.vec<double>();
+  frc_.xs() = r.vec<double>();
+  frc_.ys() = r.vec<double>();
+  frc_.zs() = r.vec<double>();
+  frc_old_.xs() = r.vec<double>();
+  frc_old_.ys() = r.vec<double>();
+  frc_old_.zs() = r.vec<double>();
   species_ = r.vec<Species>();
   frozen_ = r.vec<char>();
-  const std::size_t n = pos_.size();
-  if (vel_.size() != n || frc_.size() != n || frc_old_.size() != n || species_.size() != n ||
-      frozen_.size() != n)
+  gid_ = r.vec<std::uint32_t>();
+  is_ghost_ = r.vec<char>();
+  const std::size_t n = pos_.xs().size();
+  if (pos_.ys().size() != n || pos_.zs().size() != n || vel_.xs().size() != n ||
+      vel_.ys().size() != n || vel_.zs().size() != n || frc_.xs().size() != n ||
+      frc_.ys().size() != n || frc_.zs().size() != n || frc_old_.xs().size() != n ||
+      frc_old_.ys().size() != n || frc_old_.zs().size() != n || species_.size() != n ||
+      frozen_.size() != n || gid_.size() != n || is_ghost_.size() != n)
     throw resilience::CorruptError("DpdSystem: inconsistent array lengths in checkpoint");
+  r.pod(next_gid_);
   resilience::get_rng(r, rng_);
+  rebuild_gid_map();
   nlist_.invalidate();
 }
 

@@ -5,15 +5,28 @@
 // AVX2-batched force kernel (see docs/PERF.md), modified velocity-Verlet
 // integration, SDF walls with effective boundary forces and bounce-back,
 // plus pluggable force modules (bonded cells, platelet adhesion).
+//
+// Particle state lives in structure-of-arrays lanes (soa.hpp) and every
+// particle carries a stable 32-bit global ID. The counter-based pair RNG is
+// keyed on gids, never on local indices, so trajectories are invariant to
+// index compaction (remove_particles) and to how particles are distributed
+// over ranks (src/dpd/exchange/). A system can host ghost particles —
+// read-only images of particles owned by neighbouring subdomains — marked
+// in is_ghost_ and excluded from integration and diagnostics; the
+// ExchangeHook seam lets the decomposition driver refresh them before
+// every force evaluation.
 
 #include <array>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <random>
+#include <unordered_map>
 #include <vector>
 
 #include "dpd/geometry.hpp"
 #include "dpd/neighbor.hpp"
+#include "dpd/soa.hpp"
 #include "dpd/types.hpp"
 
 namespace resilience {
@@ -32,8 +45,38 @@ public:
   virtual ~ForceModule() = default;
   virtual void add_forces(DpdSystem& sys) = 0;
   /// Called after particle removal: new_index[i] is the new position of old
-  /// particle i, or -1 if removed.
+  /// particle i, or -1 if removed. Modules tracking particles by *local
+  /// index* translate here; gid-keyed modules can ignore it.
   virtual void on_remap(const std::vector<long>& new_index) { (void)new_index; }
+  /// Called after particle removal with the global IDs that vanished, so
+  /// gid-keyed modules (bonds, platelets) can prune dead references.
+  virtual void on_remove_gids(const std::vector<std::uint32_t>& gids) { (void)gids; }
+};
+
+/// Domain-decomposition seam (implemented by exchange::DistributedDpd).
+/// step() calls refresh() immediately before every force evaluation so the
+/// driver can migrate owners, rebuild halos, and push current ghost
+/// positions/velocities; compute_forces() calls after_pairs() right after
+/// the pair loop — while the force array holds *only* pair contributions —
+/// so the reverse-exchange mode can ship ghost-accumulated forces home.
+class ExchangeHook {
+public:
+  virtual ~ExchangeHook() = default;
+  virtual void refresh(DpdSystem& sys) = 0;
+  virtual void after_pairs(DpdSystem& sys) { (void)sys; }
+};
+
+/// Flat particle record used by the exchange layer to (re)build a rank's
+/// local population (migration, halo build, scatter/gather).
+struct ParticleRecord {
+  std::uint32_t gid = 0;
+  std::uint8_t species = 0;
+  std::uint8_t frozen = 0;
+  std::uint8_t ghost = 0;
+  Vec3 pos{};
+  Vec3 vel{};      ///< contents of vel_ at capture time (predicted inside a step)
+  Vec3 aux_vel{};  ///< contents of v_pred_ at capture time (actual inside a step)
+  Vec3 frc_old{};  ///< previous-step force (velocity-Verlet half-step memory)
 };
 
 struct DpdParams {
@@ -78,21 +121,63 @@ public:
   /// volume at Maxwellian velocities; returns number inserted.
   std::size_t fill(double density, Species s, unsigned seed = 7, double margin = 0.0);
   /// Remove particles by index (order-irrelevant); modules are remapped.
+  /// Global IDs of surviving particles are preserved, so the pair-RNG
+  /// stream of every surviving pair is unchanged by the compaction.
   void remove_particles(std::vector<std::size_t> idx);
 
   std::size_t size() const { return pos_.size(); }
-  std::vector<Vec3>& positions() { return pos_; }
-  std::vector<Vec3>& velocities() { return vel_; }
-  std::vector<Vec3>& forces() { return frc_; }
-  const std::vector<Vec3>& positions() const { return pos_; }
-  const std::vector<Vec3>& velocities() const { return vel_; }
+  SoA3& positions() { return pos_; }
+  SoA3& velocities() { return vel_; }
+  SoA3& forces() { return frc_; }
+  const SoA3& positions() const { return pos_; }
+  const SoA3& velocities() const { return vel_; }
+  const SoA3& forces() const { return frc_; }
   std::vector<Species>& species() { return species_; }
   const std::vector<Species>& species() const { return species_; }
   /// Frozen particles (bound platelets, wall dummies) do not move.
   std::vector<char>& frozen() { return frozen_; }
   const std::vector<char>& frozen() const { return frozen_; }
 
+  // --- global particle identity & decomposition ---
+  const std::vector<std::uint32_t>& gids() const { return gid_; }
+  std::uint32_t gid_of(std::size_t i) const { return gid_[i]; }
+  /// Local index of a global ID, or -1 when the particle is neither owned
+  /// nor ghosted here.
+  long local_of(std::uint32_t gid) const {
+    auto it = gid_to_local_.find(gid);
+    return it == gid_to_local_.end() ? -1 : static_cast<long>(it->second);
+  }
+  /// Ghost mask: 1 for halo images owned by another rank (skipped by the
+  /// integrator and by diagnostics), 0 for owned particles.
+  const std::vector<char>& ghost_mask() const { return is_ghost_; }
+  bool is_ghost(std::size_t i) const { return is_ghost_[i] != 0; }
+  std::size_t owned_count() const;
+  /// Next gid add_particle() would assign (the global allocation cursor; a
+  /// decomposition driver keeps it identical on every rank).
+  std::uint32_t next_gid() const { return next_gid_; }
+  void set_next_gid(std::uint32_t g) { next_gid_ = g; }
+
+  /// Install (or clear, with nullptr) the decomposition driver. The hook is
+  /// borrowed, not owned, and must outlive the system or be cleared first.
+  void set_exchange(ExchangeHook* h) { exchange_ = h; }
+  bool distributed() const { return exchange_ != nullptr; }
+  /// Enable/disable the neighbor-list ghost pair filter (see
+  /// NeighborList::set_pair_filter); the mask is this system's ghost mask.
+  void set_ghost_pair_filter(bool enabled, bool owned_lower_only = false) {
+    nlist_.set_pair_filter(enabled ? &is_ghost_ : nullptr, owned_lower_only);
+  }
+
+  /// Snapshot one particle into the flat exchange record format.
+  ParticleRecord particle_record(std::size_t i) const;
+  /// Replace the whole local population from exchange records (migration
+  /// merge, halo rebuild, scatter). Records must already be in the desired
+  /// storage order — the exchange layer keeps them sorted by gid so local
+  /// index order equals gid order on every rank. Invalidates the neighbor
+  /// list and rebuilds the gid map; does not touch next_gid_.
+  void reset_particles(const std::vector<ParticleRecord>& recs);
+
   void add_module(std::shared_ptr<ForceModule> m) { modules_.push_back(std::move(m)); }
+  const std::vector<std::shared_ptr<ForceModule>>& modules() const { return modules_; }
 
   /// Per-particle external force (body force / pressure gradient).
   /// Setup-time configuration, evaluated outside the pair hot loop.
@@ -101,14 +186,16 @@ public:
   void set_body_force(BodyForceFn f) { body_force_ = std::move(f); }
 
   // --- dynamics ---
-  /// Recompute frc_ from scratch (pair + wall + body + modules).
+  /// Recompute frc_ from scratch (pair + exchange hook + wall + body +
+  /// modules).
   void compute_forces();
   /// One modified-velocity-Verlet step (incl. wall reflection, wrapping).
   void step();
   std::uint64_t step_count() const { return step_; }
+  void set_step_count(std::uint64_t s) { step_ = s; }
   double time() const { return static_cast<double>(step_) * prm_.dt; }
 
-  // --- diagnostics ---
+  // --- diagnostics (owned particles only) ---
   double kinetic_temperature() const;
   Vec3 total_momentum() const;
   /// Number density of a species over the whole fluid volume estimate.
@@ -124,11 +211,12 @@ public:
 
   /// Checkpoint the full particle state: step counter, positions/velocities,
   /// current and previous forces (the modified-velocity-Verlet half-step
-  /// memory), species, frozen flags, and the RNG engine — everything needed
-  /// for a bitwise-identical restart. The Verlet list and the integrator's
-  /// prediction scratch are rebuilt on demand and deliberately not
-  /// serialised (restart trajectories stay bitwise identical regardless;
-  /// see docs/PERF.md). Modules serialise separately.
+  /// memory), species, frozen flags, global IDs + allocation cursor, the
+  /// ghost mask, and the RNG engine — everything needed for a
+  /// bitwise-identical restart. The Verlet list, the gid lookup map and the
+  /// integrator's prediction scratch are rebuilt on demand and deliberately
+  /// not serialised (restart trajectories stay bitwise identical
+  /// regardless; see docs/PERF.md). Modules serialise separately.
   void save_state(resilience::BlobWriter& w) const;
   void load_state(resilience::BlobReader& r);
 
@@ -233,6 +321,7 @@ private:
   void wrap(Vec3& p) const;
   void reflect_walls(std::size_t i);
   void pair_forces();
+  void rebuild_gid_map();
 
   static constexpr int kHalfStencil[13][3] = {{1, 0, 0},  {0, 1, 0},  {0, 0, 1},  {1, 1, 0},
                                               {1, -1, 0}, {1, 0, 1},  {1, 0, -1}, {0, 1, 1},
@@ -244,9 +333,16 @@ private:
   // analyze: no-checkpoint (geometry is configuration, re-supplied by the driver)
   std::shared_ptr<Geometry> geom_;
 
-  std::vector<Vec3> pos_, vel_, frc_, frc_old_;
+  SoA3 pos_, vel_, frc_, frc_old_;
   std::vector<Species> species_;
   std::vector<char> frozen_;
+  std::vector<std::uint32_t> gid_;
+  std::vector<char> is_ghost_;
+  std::uint32_t next_gid_ = 0;
+  // analyze: no-checkpoint (derived lookup, rebuilt from gid_ on load)
+  std::unordered_map<std::uint32_t, std::uint32_t> gid_to_local_;
+  // analyze: no-checkpoint (borrowed runtime wiring, re-installed by the driver)
+  ExchangeHook* exchange_ = nullptr;
   // analyze: no-checkpoint (modules checkpoint separately via the coordinator)
   std::vector<std::shared_ptr<ForceModule>> modules_;
   // analyze: no-checkpoint (callback configuration, re-established by the driver)
@@ -274,7 +370,7 @@ private:
   // per-run pair batch handed to la::simd::dpd_pair_forces. Dead between
   // calls — never checkpointed.
   // analyze: no-checkpoint (integrator scratch, recomputed within every step)
-  std::vector<Vec3> v_pred_;
+  SoA3 v_pred_;
   struct PairBatch {
     std::vector<double> dx, dy, dz, r2, dvx, dvy, dvz, zeta, a, g, sig, fx, fy, fz;
     void resize(std::size_t m);

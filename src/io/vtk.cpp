@@ -73,8 +73,10 @@ void write_dpd_vtk(const std::string& path, const dpd::DpdSystem& sys,
 
   if (platelets) {
     std::vector<int> state(n, -1);
-    for (std::size_t k = 0; k < platelets->total(); ++k)
-      state[platelets->particles()[k]] = static_cast<int>(platelets->state_of(k));
+    for (std::size_t k = 0; k < platelets->total(); ++k) {
+      const long li = sys.local_of(platelets->particles()[k]);
+      if (li >= 0) state[static_cast<std::size_t>(li)] = static_cast<int>(platelets->state_of(k));
+    }
     f << "SCALARS platelet_state int 1\nLOOKUP_TABLE default\n";
     for (std::size_t i = 0; i < n; ++i) f << state[i] << "\n";
   }

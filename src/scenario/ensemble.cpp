@@ -3,7 +3,9 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <map>
+#include <sstream>
 
 #include "resilience/blob.hpp"
 #include "xmp/comm.hpp"
@@ -93,40 +95,54 @@ std::int64_t nearest_donor(const std::vector<Variant>& variants,
 }  // namespace
 
 SweepSpec SweepSpec::parse(const Json& doc) {
-  if (!doc.is_object()) sweep_fail("expected object");
+  if (!doc.is_object()) sweep_fail("$: expected object");
   SweepSpec s;
   for (const auto& [key, val] : doc.members()) {
     if (key == "mode") {
-      if (!val.is_string()) sweep_fail("mode: expected string");
+      if (!val.is_string()) sweep_fail("$.mode: expected string");
       s.mode = val.as_string();
     } else if (key == "axes") {
-      if (!val.is_array()) sweep_fail("axes: expected array");
+      if (!val.is_array()) sweep_fail("$.axes: expected array");
+      std::size_t i = 0;
       for (const Json& ax : val.elements()) {
-        if (!ax.is_object()) sweep_fail("axes[]: expected object");
+        const std::string at = "$.axes[" + std::to_string(i++) + "]";
+        if (!ax.is_object()) sweep_fail(at + ": expected object");
         SweepAxis axis;
         for (const auto& [ak, av] : ax.members()) {
           if (ak == "path") {
-            if (!av.is_string()) sweep_fail("axes[].path: expected string");
+            if (!av.is_string()) sweep_fail(at + ".path: expected string");
             axis.path = av.as_string();
           } else if (ak == "values") {
-            if (!av.is_array()) sweep_fail("axes[].values: expected array");
+            if (!av.is_array()) sweep_fail(at + ".values: expected array");
             axis.values = av.elements();
           } else {
-            sweep_fail("axes[]." + ak + ": unknown key (known keys: path, values)");
+            sweep_fail(at + "." + ak + ": unknown key (known keys: path, values)");
           }
         }
-        if (axis.path.empty()) sweep_fail("axes[]: missing \"path\"");
-        if (axis.values.empty()) sweep_fail("axes[] \"" + axis.path + "\": empty values");
+        if (axis.path.empty()) sweep_fail(at + ": missing \"path\"");
+        if (axis.values.empty()) sweep_fail(at + " (\"" + axis.path + "\"): empty values");
         s.axes.push_back(std::move(axis));
       }
     } else {
-      sweep_fail(key + ": unknown key (known keys: axes, mode)");
+      sweep_fail("$." + key + ": unknown key (known keys: axes, mode)");
     }
   }
   if (s.mode != "cross" && s.mode != "zip")
-    sweep_fail("mode \"" + s.mode + "\" unknown (known: cross, zip)");
-  if (s.axes.empty()) sweep_fail("no axes");
+    sweep_fail("$.mode \"" + s.mode + "\" unknown (known: cross, zip)");
+  if (s.axes.empty()) sweep_fail("$.axes: no axes");
   return s;
+}
+
+SweepSpec load_sweep_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw JsonError(path + ": cannot open sweep file");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  try {
+    return SweepSpec::parse(Json::parse(ss.str()));
+  } catch (const JsonError& e) {
+    throw JsonError(path + ": " + e.what());
+  }
 }
 
 std::vector<Variant> EnsembleEngine::expand(const Json& base, const SweepSpec& sweep) {

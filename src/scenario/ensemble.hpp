@@ -41,6 +41,10 @@ struct SweepSpec {
   static SweepSpec parse(const Json& doc);
 };
 
+/// Read + parse a sweep JSON file; diagnostics carry the file path and the
+/// offending JSON path ("sweeps.json: sweep: $.axes[1].values: ...").
+SweepSpec load_sweep_file(const std::string& path);
+
 /// One expanded variant: the base document with overrides applied, plus the
 /// override values as normalized coordinates (nearest-donor selection).
 struct Variant {

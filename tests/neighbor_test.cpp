@@ -24,16 +24,16 @@ namespace {
 
 using Pair = std::pair<std::size_t, std::size_t>;
 
-std::vector<dpd::Vec3> random_positions(std::size_t n, const dpd::Vec3& box, unsigned seed) {
+dpd::SoA3 random_positions(std::size_t n, const dpd::Vec3& box, unsigned seed) {
   std::mt19937 rng(seed);
   std::uniform_real_distribution<double> ux(0.0, box.x), uy(0.0, box.y), uz(0.0, box.z);
-  std::vector<dpd::Vec3> pos(n);
-  for (auto& p : pos) p = {ux(rng), uy(rng), uz(rng)};
+  dpd::SoA3 pos;
+  for (std::size_t i = 0; i < n; ++i) pos.push_back({ux(rng), uy(rng), uz(rng)});
   return pos;
 }
 
 /// All pairs with r < rc at `pos` by direct O(N^2) enumeration, sorted.
-std::vector<Pair> brute_pairs(const dpd::NeighborList& nl, const std::vector<dpd::Vec3>& pos) {
+std::vector<Pair> brute_pairs(const dpd::NeighborList& nl, const dpd::SoA3& pos) {
   const double rc2 = nl.params().rc * nl.params().rc;
   std::vector<Pair> out;
   for (std::size_t i = 0; i < pos.size(); ++i)
@@ -42,7 +42,7 @@ std::vector<Pair> brute_pairs(const dpd::NeighborList& nl, const std::vector<dpd
   return out;
 }
 
-std::vector<Pair> list_pairs(const dpd::NeighborList& nl, const std::vector<dpd::Vec3>& pos) {
+std::vector<Pair> list_pairs(const dpd::NeighborList& nl, const dpd::SoA3& pos) {
   std::vector<Pair> out;
   nl.for_each(pos, [&](std::size_t i, std::size_t j, const dpd::Vec3&, double) {
     out.emplace_back(std::min(i, j), std::max(i, j));
@@ -121,7 +121,8 @@ TEST(NeighborList, ReuseUntilSkinExceeded) {
   std::mt19937 rng(77);
   std::uniform_real_distribution<double> d(-0.5, 0.5);
   const double amp = 0.9 * 0.5 * prm.skin / std::sqrt(3.0);
-  for (auto& p : pos) p += dpd::Vec3{d(rng), d(rng), d(rng)} * amp;
+  for (std::size_t i = 0; i < pos.size(); ++i)
+    pos[i] += dpd::Vec3{d(rng), d(rng), d(rng)} * amp;
   EXPECT_FALSE(nl.ensure(pos));
   EXPECT_EQ(nl.reuses(), 1u);
   EXPECT_EQ(list_pairs(nl, pos), brute_pairs(nl, pos));
@@ -193,7 +194,8 @@ TEST(NeighborList, QueryMatchesBruteForce) {
   std::mt19937 rng(78);
   std::uniform_real_distribution<double> d(-0.5, 0.5);
   const double amp = 0.9 * 0.5 * prm.skin / std::sqrt(3.0);
-  for (auto& p : pos) p += dpd::Vec3{d(rng), d(rng), d(rng)} * amp;
+  for (std::size_t i = 0; i < pos.size(); ++i)
+    pos[i] += dpd::Vec3{d(rng), d(rng), d(rng)} * amp;
   EXPECT_FALSE(nl.ensure(pos));
   check_queries(32);
 }
@@ -346,6 +348,42 @@ TEST(DpdNeighbor, InflowOutflowKeepsListCorrect) {
   std::sort(fast.begin(), fast.end());
   std::sort(ref.begin(), ref.end());
   EXPECT_EQ(fast, ref);
+}
+
+TEST(DpdNeighbor, HeavyChurnKeepsPairSetsExact) {
+  // 100 steps of add/remove churn interleaved with stepping: every
+  // on_remap/invalidate path must leave the reused list enumerating exactly
+  // the O(N^2) reference pair set at the current positions
+  auto prm = small_box_params(0.4);
+  dpd::DpdSystem sys(prm, std::make_shared<dpd::NoWalls>());
+  sys.fill(3.0, dpd::kSolvent, 41);
+  std::mt19937 rng(91);
+  std::uniform_real_distribution<double> u(0.0, prm.box.x);
+  std::size_t removed_total = 0, added_total = 0;
+  for (int s = 0; s < 100; ++s) {
+    sys.step();
+    if (s % 3 == 0 && sys.size() > 50) {
+      std::uniform_int_distribution<std::size_t> pick(0, sys.size() - 1);
+      sys.remove_particles({pick(rng), pick(rng), pick(rng)});
+      removed_total += 3;  // upper bound; duplicates collapse
+    }
+    if (s % 4 == 0) {
+      sys.add_particle({u(rng), u(rng), u(rng)}, {0.0, 0.0, 0.0}, dpd::kSolvent);
+      ++added_total;
+    }
+    std::vector<Pair> fast, ref;
+    sys.for_each_pair([&](std::size_t i, std::size_t j, const dpd::Vec3&, double) {
+      fast.emplace_back(std::min(i, j), std::max(i, j));
+    });
+    sys.for_each_pair_direct(
+        [&](std::size_t i, std::size_t j, const dpd::Vec3&, double) { ref.emplace_back(i, j); });
+    std::sort(fast.begin(), fast.end());
+    std::sort(ref.begin(), ref.end());
+    ASSERT_EQ(fast, ref) << "churn step " << s;
+  }
+  EXPECT_GT(removed_total, 0u);
+  EXPECT_GT(added_total, 0u);
+  EXPECT_GT(sys.neighbor_list().reuses(), 0u);  // churn must not kill reuse entirely
 }
 
 TEST(DpdNeighbor, CellwalkBaselineMatchesDirect) {

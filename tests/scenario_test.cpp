@@ -467,6 +467,42 @@ TEST(EnsembleTest, SweepSpecParseIsStrict) {
                JsonError);
 }
 
+TEST(EnsembleTest, SweepDiagnosticsCarryJsonPaths) {
+  // a bad sweep must name the offending element, not just the rule
+  try {
+    scenario::SweepSpec::parse(Json::parse(
+        R"({"axes": [{"path": "sem.nu", "values": [1]}, {"path": "dpd.seed", "values": 3}]})"));
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("$.axes[1].values"), std::string::npos) << e.what();
+  }
+  try {
+    scenario::SweepSpec::parse(Json::parse(R"({"axes": [{"values": [1]}]})"));
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("$.axes[0]"), std::string::npos) << e.what();
+  }
+}
+
+TEST(EnsembleTest, LoadSweepFileCarriesFilePathInDiagnostics) {
+  const std::string root = NEKTARG_SOURCE_DIR;
+  const auto spec =
+      scenario::load_sweep_file(root + "/examples/scenarios/sweeps/quickstart_inlet.json");
+  ASSERT_EQ(spec.axes.size(), 2u);
+  EXPECT_EQ(spec.axes[0].path, "sem.inlet_umax");
+  // the checked-in sweep must expand cleanly against the preset it targets
+  const auto variants = scenario::EnsembleEngine::expand(
+      Json::parse(scenario::scenario_to_json(scenario::quickstart_preset())), spec);
+  EXPECT_EQ(variants.size(), 6u);
+
+  try {
+    scenario::load_sweep_file(root + "/examples/scenarios/sweeps/nope.json");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("nope.json"), std::string::npos) << e.what();
+  }
+}
+
 TEST(EnsembleTest, CrossExpansionLastAxisFastest) {
   Json base = ensemble_base_doc();
   scenario::SweepSpec sweep;

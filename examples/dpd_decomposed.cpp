@@ -10,6 +10,9 @@
 // Flags:
 //   --ranks N   decomposed rank count (default 4)
 //   --steps N   DPD steps (default 50)
+//   --overlap   overlap the halo refresh with interior pair computation
+//               (DistOptions::overlap); the digest gate is unchanged —
+//               the overlapped path is bitwise trajectory-neutral
 
 #include <cstdio>
 #include <cstdint>
@@ -37,13 +40,16 @@ std::shared_ptr<dpd::DpdSystem> make_system() {
 int main(int argc, char** argv) {
   int ranks = 4;
   int steps = 50;
+  bool overlap = false;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--ranks") && i + 1 < argc) ranks = std::atoi(argv[++i]);
     if (!std::strcmp(argv[i], "--steps") && i + 1 < argc) steps = std::atoi(argv[++i]);
+    if (!std::strcmp(argv[i], "--overlap")) overlap = true;
   }
 
   auto single = make_system();
-  std::printf("dpd_decomposed: n=%zu steps=%d ranks=%d\n", single->size(), steps, ranks);
+  std::printf("dpd_decomposed: n=%zu steps=%d ranks=%d overlap=%s\n", single->size(), steps,
+              ranks, overlap ? "on" : "off");
   for (int s = 0; s < steps; ++s) single->step();
   const std::uint64_t ref = dpd::exchange::trajectory_digest(*single);
   std::printf("single-rank digest:  %016llx\n", static_cast<unsigned long long>(ref));
@@ -51,7 +57,9 @@ int main(int argc, char** argv) {
   std::uint64_t dist = 0;
   xmp::run(ranks, [&](xmp::Comm& world) {
     auto sys = make_system();
-    dpd::exchange::DistributedDpd drv(world, *sys);
+    dpd::exchange::DistOptions opt;
+    opt.overlap = overlap;
+    dpd::exchange::DistributedDpd drv(world, *sys, opt);
     drv.distribute();
     for (int s = 0; s < steps; ++s) sys->step();
     const std::uint64_t d = drv.global_digest();

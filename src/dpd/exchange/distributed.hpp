@@ -24,6 +24,7 @@
 // and reverse-ships the other half; the changed accumulation order leaves
 // O(1 ulp) differences, pinned by tolerance instead.
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -47,6 +48,20 @@ struct DistOptions {
   /// minimum). Raise to max module cutoff + skin when a force module
   /// (platelet adhesion, long bonds) reaches beyond rc.
   double halo_width = 0.0;
+  /// Overlap halo communication with interior pair computation: the fast
+  /// path posts nonblocking lanes (HaloExchanger::begin_update) and the
+  /// engine computes interior neighbor-list rows while they fly, completing
+  /// the exchange only before the boundary rows. Bitwise-neutral under
+  /// either HaloMode (see docs/PERF.md "Overlapped halos").
+  bool overlap = false;
+  /// When > 0, every Nth refresh measures owned-count imbalance and — above
+  /// rebalance_threshold — shifts the decomposition's cut planes toward
+  /// equal counts (Decomposition::rebalance) followed by a full rebuild.
+  /// Trajectory-neutral, like any forced rebuild.
+  int rebalance_every = 0;
+  /// Trigger rebalancing when max owned count exceeds this multiple of the
+  /// mean.
+  double rebalance_threshold = 1.2;
 };
 
 /// Bitwise trajectory digest (FNV-1a over gid-sorted owned gid/pos/vel) of
@@ -67,7 +82,17 @@ public:
   void distribute();
 
   void refresh(DpdSystem& sys) override;
+  bool overlap_pending() const override { return overlap_pending_; }
+  void finish_refresh(DpdSystem& sys) override;
   void after_pairs(DpdSystem& sys) override;
+
+  /// Measure owned-count imbalance (max/mean over ranks, allreduced) and,
+  /// above options().rebalance_threshold, move the decomposition's cut
+  /// planes toward equal per-slab counts and migrate ownership to the new
+  /// layout. Collective; returns true when the layout changed (the halo and
+  /// plans are then freshly rebuilt). Called automatically every
+  /// rebalance_every refreshes when that option is set.
+  bool rebalance();
 
   const Decomposition& decomposition() const { return decomp_; }
   const DistOptions& options() const { return opt_; }
@@ -91,8 +116,10 @@ public:
   void sync_platelets(PlateletModel& model);
 
   /// Checkpoint the driver: decomposition layout + halo mode (validated on
-  /// load) — plans and displacement references are rebuilt, so load forces
-  /// a full rebuild at the next refresh, which is trajectory-neutral (see
+  /// load) and the current cut planes (restored, so a post-rebalance restart
+  /// migrates under the decomposition that actually owns the particles) —
+  /// plans and displacement references are rebuilt, so load forces a full
+  /// rebuild at the next refresh, which is trajectory-neutral (see
   /// docs/PERF.md). The per-rank particle state lives in
   /// DpdSystem::save_state.
   void save_state(resilience::BlobWriter& w) const;
@@ -108,8 +135,7 @@ private:
   // analyze: no-checkpoint (borrowed engine; checkpoints separately)
   DpdSystem& sys_;
   DistOptions opt_;  ///< layout + mode; serialised for restart validation
-  // analyze: no-checkpoint (pure geometry, reconstructed from opt_)
-  Decomposition decomp_;
+  Decomposition decomp_;  ///< geometry from opt_; moved cut planes serialised
   // analyze: no-checkpoint (stateless protocol object)
   MigrationExchanger migrate_;
   // analyze: no-checkpoint (plans rebuilt by the forced post-load rebuild)
@@ -119,6 +145,12 @@ private:
   bool rebuild_pending_ = false;
   // analyze: no-checkpoint (displacement reference, recaptured at every rebuild)
   std::vector<Vec3> ref_pos_;
+  // analyze: no-checkpoint (in-flight overlap state never spans a checkpoint)
+  bool overlap_pending_ = false;
+  // analyze: no-checkpoint (telemetry timestamp for dpd.halo.overlap_us)
+  std::chrono::steady_clock::time_point overlap_t0_{};
+  // analyze: no-checkpoint (replicated cadence counter; restart restarts it identically everywhere)
+  std::uint64_t refresh_count_ = 0;
 };
 
 }  // namespace dpd::exchange

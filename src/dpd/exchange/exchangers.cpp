@@ -1,6 +1,7 @@
 #include "dpd/exchange/exchangers.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
@@ -16,11 +17,23 @@ telemetry::TagClasses comm_tag_classes() {
   c.add(kTagHaloBuild, "dpd.halo.build");
   c.add(kTagHaloUpdate, "dpd.halo.update");
   c.add(kTagReverse, "dpd.reverse");
+  c.add(kTagHaloAsync, "dpd.halo.async");
   return c;
 }
 
 namespace {
 bool gid_less(const ParticleRecord& a, const ParticleRecord& b) { return a.gid < b.gid; }
+
+/// Reinterpret a received byte payload as doubles in reusable scratch (the
+/// fast path keeps one scratch vector warm instead of allocating per recv).
+void recv_into(const std::vector<std::uint8_t>& raw, std::vector<double>& out) {
+  if (raw.size() % sizeof(double) != 0)
+    throw std::runtime_error("exchange: halo payload of " + std::to_string(raw.size()) +
+                             " bytes is not a whole number of doubles");
+  out.resize(raw.size() / sizeof(double));
+  // lint: memcpy-ok (byte payload reinterpreted into the double scratch)
+  if (!raw.empty()) std::memcpy(out.data(), raw.data(), raw.size());
+}
 }  // namespace
 
 std::vector<ParticleRecord> MigrationExchanger::exchange(
@@ -109,39 +122,70 @@ std::vector<ParticleRecord> HaloExchanger::build(const std::vector<ParticleRecor
   return merged;
 }
 
-void HaloExchanger::update(DpdSystem& sys) const {
+void HaloExchanger::update(DpdSystem& sys) {
   const auto& nbrs = decomp_->neighbors(comm_.rank());
   std::size_t shipped = 0, bytes = 0;
-  std::vector<double> buf;
   for (std::size_t k = 0; k < nbrs.size(); ++k) {
-    pack_posvel(sys.positions(), sys.velocities(), send_[k], buf);
-    comm_.send(nbrs[k], kTagHaloUpdate, buf);
+    pack_posvel(sys.positions(), sys.velocities(), send_[k], pack_buf_);
+    comm_.send(nbrs[k], kTagHaloUpdate, pack_buf_);
     shipped += send_[k].size();
-    bytes += buf.size() * sizeof(double);
+    bytes += pack_buf_.size() * sizeof(double);
   }
   for (std::size_t k = 0; k < nbrs.size(); ++k) {
-    auto in = comm_.recv<double>(nbrs[k], kTagHaloUpdate);
-    unpack_posvel(sys.positions(), sys.velocities(), recv_[k], in);
+    recv_into(comm_.recv_bytes(nbrs[k], kTagHaloUpdate), recv_buf_);
+    unpack_posvel(sys.positions(), sys.velocities(), recv_[k], recv_buf_);
   }
   telemetry::count("dpd.halo.particles", static_cast<double>(shipped));
   telemetry::count("dpd.halo.bytes", static_cast<double>(bytes));
 }
 
-void HaloExchanger::reverse(DpdSystem& sys) const {
+void HaloExchanger::begin_update(DpdSystem& sys) {
+  const auto& nbrs = decomp_->neighbors(comm_.rank());
+  if (!send_pending_.empty() || !recv_pending_.empty())
+    throw std::logic_error("exchange: begin_update while a halo update is already in flight");
+  std::size_t shipped = 0, bytes = 0;
+  recv_pending_.reserve(nbrs.size());
+  send_pending_.reserve(nbrs.size());
+  for (std::size_t k = 0; k < nbrs.size(); ++k)
+    recv_pending_.push_back(comm_.irecv_bytes(nbrs[k], kTagHaloAsync));
+  for (std::size_t k = 0; k < nbrs.size(); ++k) {
+    pack_posvel(sys.positions(), sys.velocities(), send_[k], pack_buf_);
+    send_pending_.push_back(comm_.isend_bytes(nbrs[k], kTagHaloAsync, pack_buf_.data(),
+                                              pack_buf_.size() * sizeof(double)));
+    shipped += send_[k].size();
+    bytes += pack_buf_.size() * sizeof(double);
+  }
+  telemetry::count("dpd.halo.particles", static_cast<double>(shipped));
+  telemetry::count("dpd.halo.bytes", static_cast<double>(bytes));
+}
+
+void HaloExchanger::finish_update(DpdSystem& sys) {
+  const auto& nbrs = decomp_->neighbors(comm_.rank());
+  if (recv_pending_.size() != nbrs.size())
+    throw std::logic_error("exchange: finish_update without a matching begin_update");
+  for (auto& p : send_pending_) p.wait();
+  send_pending_.clear();
+  for (std::size_t k = 0; k < nbrs.size(); ++k) {
+    recv_into(recv_pending_[k].wait(), recv_buf_);
+    unpack_posvel(sys.positions(), sys.velocities(), recv_[k], recv_buf_);
+  }
+  recv_pending_.clear();
+}
+
+void HaloExchanger::reverse(DpdSystem& sys) {
   const auto& nbrs = decomp_->neighbors(comm_.rank());
   std::size_t bytes = 0;
-  std::vector<double> buf;
   // ghosts on this rank came from nbrs[k]; their accumulated pair forces go
   // home along the recv plan and land additively on the owner's send plan
   // (same particles, same order, by construction in build())
   for (std::size_t k = 0; k < nbrs.size(); ++k) {
-    pack_lanes(sys.forces(), recv_[k], buf);
-    comm_.send(nbrs[k], kTagReverse, buf);
-    bytes += buf.size() * sizeof(double);
+    pack_lanes(sys.forces(), recv_[k], pack_buf_);
+    comm_.send(nbrs[k], kTagReverse, pack_buf_);
+    bytes += pack_buf_.size() * sizeof(double);
   }
   for (std::size_t k = 0; k < nbrs.size(); ++k) {
-    auto in = comm_.recv<double>(nbrs[k], kTagReverse);
-    accumulate_lanes(sys.forces(), send_[k], in);
+    recv_into(comm_.recv_bytes(nbrs[k], kTagReverse), recv_buf_);
+    accumulate_lanes(sys.forces(), send_[k], recv_buf_);
   }
   telemetry::count("dpd.reverse.bytes", static_cast<double>(bytes));
 }

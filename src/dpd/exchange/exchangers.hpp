@@ -30,6 +30,7 @@ inline constexpr int kTagMigrate = 7101;
 inline constexpr int kTagHaloBuild = 7102;
 inline constexpr int kTagHaloUpdate = 7103;
 inline constexpr int kTagReverse = 7104;
+inline constexpr int kTagHaloAsync = 7105;
 
 /// Tag classes attributing exchange traffic in a telemetry::CommMatrix.
 telemetry::TagClasses comm_tag_classes();
@@ -66,12 +67,23 @@ public:
   /// Fast path between rebuilds: ship current pos/vel of the planned
   /// boundary slots, scatter into the planned ghost slots. The system's
   /// local layout must be unchanged since the last build().
-  void update(DpdSystem& sys) const;
+  void update(DpdSystem& sys);
+
+  /// Split-phase update for comm/compute overlap: begin_update packs every
+  /// neighbour lane and posts it as nonblocking isend/irecv on
+  /// kTagHaloAsync, returning while the messages are in flight;
+  /// finish_update completes the handles and scatters the fresh ghost
+  /// pos/vel. Exactly one finish_update must follow every begin_update
+  /// before the next update of any flavour (checked xmp builds flag
+  /// dropped handles). Ghost slots hold stale positions in between — the
+  /// caller may only touch owned-only work there.
+  void begin_update(DpdSystem& sys);
+  void finish_update(DpdSystem& sys);
 
   /// Ship the forces accumulated on ghost slots back to their owners and
   /// add them there (ReverseOnce mode; call while frc holds only pair
   /// contributions).
-  void reverse(DpdSystem& sys) const;
+  void reverse(DpdSystem& sys);
 
   /// Ghost slots per neighbour rank, in plan order (tests/diagnostics).
   const std::vector<std::vector<std::uint32_t>>& recv_plan() const { return recv_; }
@@ -83,6 +95,11 @@ private:
   // Per neighbour (parallel to decomp_->neighbors(rank)): local slots whose
   // pos/vel we ship there / local ghost slots filled from there.
   std::vector<std::vector<std::uint32_t>> send_, recv_;
+  // hoisted per-call scratch: the fast path runs every force pass and must
+  // not allocate once the plans have warmed these up
+  std::vector<double> pack_buf_, recv_buf_;
+  // in-flight handles between begin_update and finish_update
+  std::vector<xmp::Pending> send_pending_, recv_pending_;
 };
 
 }  // namespace dpd::exchange

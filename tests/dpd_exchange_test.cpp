@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <mutex>
@@ -86,6 +87,58 @@ TEST(Decomposition, Dist2ToSubdomainUsesMinimumImage) {
   EXPECT_FALSE(d.in_halo_of({15.0, 5.0, 5.0}, 0));
 }
 
+// --------------------------------------------------- movable cut planes
+
+TEST(Decomposition, SetBoundsMovesOwnershipAndValidates) {
+  Decomposition d({20.0, 10.0, 10.0}, {true, true, false}, {2, 1, 1}, 1.3);
+  EXPECT_EQ(d.bounds(0), (std::vector<double>{0.0, 10.0, 20.0}));
+  d.set_bounds(0, {0.0, 12.5, 20.0});
+  EXPECT_EQ(d.rank_of_position({11.0, 5.0, 5.0}), 0);
+  EXPECT_EQ(d.rank_of_position({13.0, 5.0, 5.0}), 1);
+  EXPECT_NEAR(d.subdomain(0).hi.x, 12.5, 1e-12);
+  EXPECT_THROW(d.set_bounds(3, {0.0, 10.0, 20.0}), std::invalid_argument);
+  EXPECT_THROW(d.set_bounds(0, {0.0, 20.0}), std::invalid_argument);          // wrong count
+  EXPECT_THROW(d.set_bounds(0, {1.0, 10.0, 20.0}), std::invalid_argument);    // span
+  EXPECT_THROW(d.set_bounds(0, {0.0, 0.0, 20.0}), std::invalid_argument);     // not ascending
+}
+
+TEST(Decomposition, RebalanceMovesCutsTowardEqualCountsWithBoundedShift) {
+  const double halo = 1.3;
+  Decomposition d({20.0, 10.0, 10.0}, {true, true, false}, {2, 1, 1}, halo);
+  std::array<std::vector<double>, 3> hist;
+  hist[0].assign(8, 0.0);
+  hist[0][0] = hist[0][1] = 100.0;  // all mass in x < 5: equal-count cut is 2.5
+  ASSERT_TRUE(d.rebalance(hist));
+  const double cut1 = d.bounds(0)[1];
+  EXPECT_LT(cut1, 10.0);                           // moved toward the mass
+  EXPECT_NEAR(cut1, 10.0 - 0.9 * halo, 1e-9);      // but clamped to the halo-bounded step
+  ASSERT_TRUE(d.rebalance(hist));
+  EXPECT_LT(d.bounds(0)[1], cut1);                 // repeated calls keep converging
+  // a balanced histogram leaves an already-uniform layout untouched
+  Decomposition u({20.0, 10.0, 10.0}, {true, true, false}, {2, 1, 1}, halo);
+  std::array<std::vector<double>, 3> flat;
+  flat[0].assign(8, 50.0);
+  EXPECT_FALSE(u.rebalance(flat));
+  EXPECT_EQ(u.bounds(0), (std::vector<double>{0.0, 10.0, 20.0}));
+}
+
+TEST(Decomposition, RebalanceKeepsSingleSlabAxesAndRespectsMinGap) {
+  Decomposition d({20.0, 10.0, 10.0}, {true, true, false}, {2, 1, 1}, 1.3);
+  std::array<std::vector<double>, 3> hist;
+  hist[1].assign(8, 10.0);  // y has one slab: nothing to move
+  EXPECT_FALSE(d.rebalance(hist));
+  // driving the cut repeatedly toward zero must stop at the minimum slab
+  // width, never produce an inverted or empty slab
+  std::array<std::vector<double>, 3> skew;
+  skew[0].assign(8, 0.0);
+  skew[0][0] = 1.0;
+  for (int it = 0; it < 64; ++it) d.rebalance(skew);
+  const auto& b = d.bounds(0);
+  EXPECT_GT(b[1], 0.0);
+  EXPECT_GT(b[2] - b[1], 0.5 * std::min(1.3, 10.0) - 1e-12);
+  EXPECT_GT(b[1] - b[0], 0.5 * std::min(1.3, 10.0) - 1e-12);
+}
+
 // -------------------------------------------------- the equivalence gate
 
 dpd::DpdParams channel_params() {
@@ -111,12 +164,10 @@ std::uint64_t single_rank_digest(int steps) {
   return trajectory_digest(*sys);
 }
 
-std::uint64_t distributed_digest(int nranks, int steps, HaloMode mode = HaloMode::Symmetric) {
+std::uint64_t distributed_digest_opt(int nranks, int steps, DistOptions opt) {
   std::uint64_t out = 0;
   xmp::run(nranks, [&](xmp::Comm& world) {
     auto sys = make_channel_system();
-    DistOptions opt;
-    opt.mode = mode;
     DistributedDpd drv(world, *sys, opt);
     drv.distribute();
     for (int s = 0; s < steps; ++s) sys->step();
@@ -126,12 +177,33 @@ std::uint64_t distributed_digest(int nranks, int steps, HaloMode mode = HaloMode
   return out;
 }
 
+std::uint64_t distributed_digest(int nranks, int steps, HaloMode mode = HaloMode::Symmetric) {
+  DistOptions opt;
+  opt.mode = mode;
+  return distributed_digest_opt(nranks, steps, opt);
+}
+
 TEST(ExchangeEquivalence, TwoRankSymmetricRunIsBitwiseEqual) {
   EXPECT_EQ(distributed_digest(2, 40), single_rank_digest(40));
 }
 
 TEST(ExchangeEquivalence, FourRankSymmetricRunIsBitwiseEqual) {
   EXPECT_EQ(distributed_digest(4, 40), single_rank_digest(40));
+}
+
+TEST(ExchangeEquivalence, OverlappedTwoRankSymmetricRunIsBitwiseEqual) {
+  // The overlapped pair pass (interior rows while the split-phase halo
+  // flies, boundary rows after, staged canonical-order scatter replay) must
+  // not change a single bit of the trajectory.
+  DistOptions opt;
+  opt.overlap = true;
+  EXPECT_EQ(distributed_digest_opt(2, 40, opt), single_rank_digest(40));
+}
+
+TEST(ExchangeEquivalence, OverlappedFourRankSymmetricRunIsBitwiseEqual) {
+  DistOptions opt;
+  opt.overlap = true;
+  EXPECT_EQ(distributed_digest_opt(4, 40, opt), single_rank_digest(40));
 }
 
 TEST(ExchangeEquivalence, DigestAgreesOnEveryRank) {
@@ -176,6 +248,139 @@ TEST(ExchangeEquivalence, RestartAcrossMidRunCheckpointIsBitwiseEqual) {
     if (world.rank() == 0) out = d;
   });
   EXPECT_EQ(out, ref);
+}
+
+TEST(ExchangeEquivalence, OverlappedRestartAcrossMidRunCheckpointIsBitwiseEqual) {
+  // Same gate with the overlapped halo path on both sides of the
+  // checkpoint: no in-flight overlap state may leak into (or be needed
+  // from) the blob — refresh() always begins and pair_forces always
+  // finishes the split-phase update within one force evaluation.
+  const int pre = 20, post = 20;
+  const std::uint64_t ref = single_rank_digest(pre + post);
+  std::uint64_t out = 0;
+  xmp::run(2, [&](xmp::Comm& world) {
+    DistOptions opt;
+    opt.overlap = true;
+    std::vector<std::uint8_t> blob;
+    {
+      auto sys = make_channel_system();
+      DistributedDpd drv(world, *sys, opt);
+      drv.distribute();
+      for (int s = 0; s < pre; ++s) sys->step();
+      resilience::BlobWriter w;
+      sys->save_state(w);
+      drv.save_state(w);
+      blob = w.take();
+    }
+    auto sys = make_channel_system();
+    DistributedDpd drv(world, *sys, opt);
+    resilience::BlobReader r(blob);
+    sys->load_state(r);
+    drv.load_state(r);
+    for (int s = 0; s < post; ++s) sys->step();
+    const std::uint64_t d = drv.global_digest();
+    if (world.rank() == 0) out = d;
+  });
+  EXPECT_EQ(out, ref);
+}
+
+// Replicated deterministic setup with all particles crowded into x < 6 —
+// the worst case for a uniform x-split (one rank owns everything).
+std::shared_ptr<dpd::DpdSystem> make_skewed_system() {
+  const auto prm = channel_params();
+  auto sys = std::make_shared<dpd::DpdSystem>(prm, std::make_shared<dpd::ChannelZ>(prm.box.z));
+  sys->fill(3.0, dpd::kSolvent, 42);
+  std::vector<std::size_t> drop;
+  for (std::size_t i = 0; i < sys->size(); ++i)
+    if (sys->positions()[i].x > 6.0) drop.push_back(i);
+  sys->remove_particles(std::move(drop));
+  sys->set_body_force([](const Vec3&, dpd::Species) { return Vec3{0.05, 0.0, 0.0}; });
+  return sys;
+}
+
+TEST(ExchangeRebalance, SkewedRunMovesCutsAndStaysBitwiseEqual) {
+  // Particle-count load balancing is trajectory-neutral: shifting the cut
+  // planes forces a rebuild under a different ownership layout, but under
+  // HaloMode::Symmetric the digest must still match the single-rank run
+  // bitwise — while the cuts demonstrably moved off the uniform layout.
+  const int steps = 30;
+  std::uint64_t ref = 0;
+  {
+    auto sys = make_skewed_system();
+    for (int s = 0; s < steps; ++s) sys->step();
+    ref = trajectory_digest(*sys);
+  }
+  std::uint64_t out = 0;
+  std::vector<double> cuts_after;
+  xmp::run(2, [&](xmp::Comm& world) {
+    auto sys = make_skewed_system();
+    DistOptions opt;
+    opt.dims = {2, 1, 1};
+    opt.overlap = true;
+    opt.rebalance_every = 5;
+    DistributedDpd drv(world, *sys, opt);
+    drv.distribute();
+    for (int s = 0; s < steps; ++s) sys->step();
+    const std::uint64_t d = drv.global_digest();
+    if (world.rank() == 0) {
+      out = d;
+      cuts_after = drv.decomposition().bounds(0);
+    }
+  });
+  EXPECT_EQ(out, ref);
+  ASSERT_EQ(cuts_after.size(), 3u);
+  EXPECT_LT(cuts_after[1], 6.0 - 0.5)
+      << "the empty-half skew should have pulled the x cut well below uniform";
+}
+
+TEST(ExchangeRebalance, RestartAfterRebalanceRestoresMovedCuts) {
+  // A checkpoint taken *after* cuts moved must restore the moved layout:
+  // restarting under uniform cuts would migrate the whole population on the
+  // first refresh and can violate the neighbour-shell bound. The digest gate
+  // doubles as the trajectory check.
+  const int pre = 12, post = 12;
+  std::uint64_t ref = 0;
+  {
+    auto sys = make_skewed_system();
+    for (int s = 0; s < pre + post; ++s) sys->step();
+    ref = trajectory_digest(*sys);
+  }
+  std::uint64_t out = 0;
+  bool cuts_restored = false;
+  xmp::run(2, [&](xmp::Comm& world) {
+    DistOptions opt;
+    opt.dims = {2, 1, 1};
+    opt.overlap = true;
+    opt.rebalance_every = 3;
+    std::vector<std::uint8_t> blob;
+    std::vector<double> cuts_at_save;
+    {
+      auto sys = make_skewed_system();
+      DistributedDpd drv(world, *sys, opt);
+      drv.distribute();
+      for (int s = 0; s < pre; ++s) sys->step();
+      cuts_at_save = drv.decomposition().bounds(0);
+      resilience::BlobWriter w;
+      sys->save_state(w);
+      drv.save_state(w);
+      blob = w.take();
+    }
+    auto sys = make_skewed_system();
+    DistributedDpd drv(world, *sys, opt);
+    resilience::BlobReader r(blob);
+    sys->load_state(r);
+    drv.load_state(r);
+    const bool restored = drv.decomposition().bounds(0) == cuts_at_save &&
+                          cuts_at_save != std::vector<double>{0.0, 6.0, 12.0};
+    for (int s = 0; s < post; ++s) sys->step();
+    const std::uint64_t d = drv.global_digest();
+    if (world.rank() == 0) {
+      out = d;
+      cuts_restored = restored;
+    }
+  });
+  EXPECT_EQ(out, ref);
+  EXPECT_TRUE(cuts_restored) << "load_state must restore the post-rebalance cut planes";
 }
 
 TEST(ExchangeEquivalence, ReverseOnceModeIsTolerancePinned) {
@@ -276,6 +481,47 @@ TEST(ExchangeTelemetry, CommMatrixAttributesExchangeTraffic) {
   }
   EXPECT_GT(build_bytes, 0u);
   EXPECT_GT(update_bytes, 0u);
+}
+
+TEST(ExchangeTelemetry, OverlapCountersAndAsyncTagClass) {
+  // The overlapped path reports its comm/compute overlap window and the
+  // interior/boundary row split, and its traffic rides the dedicated
+  // kTagHaloAsync tag so a CommMatrix attributes it separately from the
+  // blocking halo update.
+  telemetry::Registry::reset_all();
+  telemetry::set_enabled(true);
+  telemetry::CommMatrix matrix(dpd::exchange::comm_tag_classes());
+  std::mutex mu;
+  double rows_interior = 0.0, rows_boundary = 0.0;
+  bool overlap_counted = false;
+  xmp::run(
+      2,
+      [&](xmp::Comm& world) {
+        auto sys = make_channel_system();
+        DistOptions opt;
+        opt.overlap = true;
+        DistributedDpd drv(world, *sys, opt);
+        drv.distribute();
+        for (int s = 0; s < 5; ++s) sys->step();
+        const auto counters = telemetry::Registry::local().counters();
+        auto get = [&](const char* name) {
+          const auto it = counters.find(name);
+          return it == counters.end() ? 0.0 : it->second.value;
+        };
+        std::lock_guard<std::mutex> lk(mu);
+        rows_interior += get("dpd.rows.interior");
+        rows_boundary += get("dpd.rows.boundary");
+        overlap_counted = overlap_counted || counters.count("dpd.halo.overlap_us") > 0;
+      },
+      matrix.sink());
+  telemetry::set_enabled(false);
+  EXPECT_GT(rows_interior, 0.0) << "the channel split leaves owned-only rows to overlap with";
+  EXPECT_GT(rows_boundary, 0.0);
+  EXPECT_TRUE(overlap_counted);
+  std::uint64_t async_bytes = 0;
+  for (const auto& [key, cell] : matrix.cells())
+    if (std::get<2>(key) == "dpd.halo.async") async_bytes += cell.bytes;
+  EXPECT_GT(async_bytes, 0u);
 }
 
 // --------------------------------------- force modules under decomposition

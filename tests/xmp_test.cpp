@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <numeric>
 #include <set>
+#include <thread>
 
 #include "xmp/comm.hpp"
 
@@ -48,6 +50,97 @@ TEST(Xmp, TagMatchingOutOfOrder) {
       auto b = world.recv<int>(0, 20);
       EXPECT_EQ(a[0], 10);
       EXPECT_EQ(b[0], 20);
+    }
+  });
+}
+
+// ------------------------------------------------------- nonblocking p2p
+
+TEST(XmpPending, IsendIrecvRoundTrip) {
+  xmp::run(2, [](xmp::Comm& world) {
+    if (world.rank() == 0) {
+      const std::vector<double> msg = {1.0, 2.0, 3.0};
+      xmp::Pending s = world.isend_bytes(1, 7, msg.data(), msg.size() * sizeof(double));
+      s.wait();  // eager transport: born complete, wait() only retires
+    } else {
+      xmp::Pending p = world.irecv_bytes(0, 7);
+      int src = -1, tag = -1;
+      const auto raw = p.wait(&src, &tag);
+      EXPECT_EQ(src, 0);
+      EXPECT_EQ(tag, 7);
+      ASSERT_EQ(raw.size(), 3 * sizeof(double));
+      double back[3];
+      std::memcpy(back, raw.data(), sizeof back);
+      EXPECT_DOUBLE_EQ(back[2], 3.0);
+    }
+  });
+}
+
+TEST(XmpPending, TestPollsWithoutBlockingAndReservesPayload) {
+  xmp::run(2, [](xmp::Comm& world) {
+    if (world.rank() == 0) {
+      xmp::Pending p = world.irecv_bytes(1, 5);
+      // rank 1 only sends after our go message, so this poll is
+      // deterministically premature
+      EXPECT_FALSE(p.test());
+      world.send(1, 1, std::vector<int>{1});
+      while (!p.test()) std::this_thread::yield();
+      EXPECT_TRUE(p.test());  // a true result is stable
+      const auto raw = p.wait();  // payload was reserved by the claiming test()
+      ASSERT_EQ(raw.size(), sizeof(int));
+      int v = 0;
+      std::memcpy(&v, raw.data(), sizeof v);
+      EXPECT_EQ(v, 42);
+    } else {
+      (void)world.recv<int>(0, 1);
+      const int v = 42;
+      world.isend_bytes(0, 5, &v, sizeof v).wait();
+    }
+  });
+}
+
+TEST(XmpPending, CompletesOutOfPostingOrder) {
+  xmp::run(2, [](xmp::Comm& world) {
+    if (world.rank() == 0) {
+      xmp::Pending a = world.irecv_bytes(1, 10);
+      xmp::Pending b = world.irecv_bytes(1, 20);
+      const auto rb = b.wait();  // posted second, completed first: tags match
+      const auto ra = a.wait();
+      ASSERT_EQ(rb.size(), 1u);
+      ASSERT_EQ(ra.size(), 1u);
+      EXPECT_EQ(rb[0], 20);
+      EXPECT_EQ(ra[0], 10);
+    } else {
+      world.send(0, 20, std::vector<std::uint8_t>{20});
+      world.send(0, 10, std::vector<std::uint8_t>{10});
+    }
+  });
+}
+
+TEST(XmpErrors, PendingReuseAfterWaitThrows) {
+  xmp::run(2, [](xmp::Comm& world) {
+    if (world.rank() == 0) {
+      const int v = 1;
+      xmp::Pending p = world.isend_bytes(1, 2, &v, sizeof v);
+      p.wait();
+      EXPECT_THROW(p.wait(), std::logic_error);
+      EXPECT_THROW(p.test(), std::logic_error);
+      EXPECT_THROW(xmp::Pending{}.wait(), std::logic_error);
+    } else {
+      (void)world.recv<int>(0, 2);
+    }
+  });
+}
+
+TEST(XmpErrors, IrecvSrcOutOfRangeNamesCommSizeAndTag) {
+  xmp::run(1, [](xmp::Comm& world) {
+    try {
+      (void)world.irecv_bytes(3, 9);
+      ADD_FAILURE() << "expected std::out_of_range";
+    } catch (const std::out_of_range& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("irecv src 3"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("tag 9"), std::string::npos) << msg;
     }
   });
 }

@@ -37,6 +37,16 @@ sem-hot-alloc
     retained `_reference` baselines, which deliberately keep the per-call
     scratch they are benchmarked against.
 
+exchange-hot-alloc
+    Inside the halo/migration fast-path bodies under src/dpd/exchange/
+    (`update` / `reverse` / `begin_update` / `finish_update` and the
+    `pack_*` / `unpack_*` / `accumulate_*` packers), constructing a
+    `std::vector` is a per-force-pass heap allocation; the exchangers hoist
+    all pack/recv scratch into persistent members (see docs/PERF.md). Lines
+    opt out with a `// lint: exchange-alloc-ok (<reason>)` marker (on the
+    line or the 2 lines above). Cold paths (build, plan construction,
+    migration merges) are not gated.
+
 sched-context
     Rank-visible code (src/xmp/, src/telemetry/) must not introduce raw
     `thread_local` state or call `std::this_thread::get_id`: with the fiber
@@ -93,8 +103,12 @@ NO_TRACE_RE = re.compile(r"//\s*lint:\s*no-trace")
 STD_FUNCTION_RE = re.compile(r"\bstd\s*::\s*function\s*<")
 STD_FUNCTION_OK_RE = re.compile(r"//\s*lint:\s*std-function-ok")
 SEM_HOT_FN_RE = re.compile(r"\b(?:\w+\s*::\s*)?((?:apply_|elem_)\w*)\s*\(")
+EXCHANGE_HOT_FN_RE = re.compile(
+    r"\b(?:\w+\s*::\s*)?"
+    r"(update|reverse|begin_update|finish_update|pack_\w+|unpack_\w+|accumulate_\w+)\s*\(")
 STD_VECTOR_CTOR_RE = re.compile(r"\bstd\s*::\s*vector\s*<")
 SEM_ALLOC_OK_RE = re.compile(r"//\s*lint:\s*sem-alloc-ok")
+EXCHANGE_ALLOC_OK_RE = re.compile(r"//\s*lint:\s*exchange-alloc-ok")
 THREAD_IDENTITY_RE = re.compile(r"\bthread_local\b|\bstd\s*::\s*this_thread\s*::\s*get_id\b")
 SCHED_CONTEXT_OK_RE = re.compile(r"//\s*lint:\s*sched-context-ok")
 SCHEMA_FN_RE = re.compile(r"\b(parse|serialize)_(\w+)\s*\(")
@@ -157,8 +171,32 @@ def is_declaration(line: str, name_start: int) -> bool:
     return before[-1].isalnum() or before[-1] in ">&*_,"
 
 
-def sem_hot_ranges(lines: list[str]) -> list[tuple[int, int]]:
-    """Line ranges (inclusive) of `apply_*` / `elem_*` function BODIES.
+def vector_ctor_on_line(line: str) -> bool:
+    """True if the line mentions `std::vector<...>` as a *construction* — a
+    value declaration or temporary that allocates — rather than a reference
+    or pointer type mention (`std::vector<T>&` parameters, `std::vector<T>*`
+    lane tables), which allocates nothing. Template args that spill onto the
+    next line are treated as a construction (conservative)."""
+    for m in STD_VECTOR_CTOR_RE.finditer(line):
+        depth = 1
+        j = m.end()
+        while j < len(line) and depth:
+            if line[j] == "<":
+                depth += 1
+            elif line[j] == ">":
+                depth -= 1
+            j += 1
+        if depth:
+            return True
+        while j < len(line) and line[j].isspace():
+            j += 1
+        if j >= len(line) or line[j] not in "&*":
+            return True
+    return False
+
+
+def hot_fn_ranges(lines: list[str], fn_re: re.Pattern) -> list[tuple[int, int]]:
+    """Line ranges (inclusive) of the BODIES of functions matching fn_re.
 
     A match followed by `;` before any `{` is a declaration or a call and
     opens no range; a match followed by `{` opens one that ends when the
@@ -168,7 +206,7 @@ def sem_hot_ranges(lines: list[str]) -> list[tuple[int, int]]:
     n = len(lines)
     i = 0
     while i < n:
-        m = SEM_HOT_FN_RE.search(lines[i])
+        m = fn_re.search(lines[i])
         if not m:
             i += 1
             continue
@@ -296,15 +334,16 @@ def lint_file(path: pathlib.Path, repo_root: pathlib.Path) -> list[Finding]:
     in_xmp = rel.startswith("src/xmp/")
     in_dpd_header = rel.startswith("src/dpd/") and path.suffix == ".hpp"
     in_sem = rel.startswith("src/sem/")
+    in_exchange = rel.startswith("src/dpd/exchange/")
     in_rank_visible = in_xmp or rel.startswith("src/telemetry/")
 
     if rel == "src/scenario/schema.cpp":
         findings.extend(schema_sync_findings(rel, lines))
 
     if in_sem:
-        for lo, hi in sem_hot_ranges(clines):
+        for lo, hi in hot_fn_ranges(clines, SEM_HOT_FN_RE):
             for i in range(lo, hi + 1):
-                if not STD_VECTOR_CTOR_RE.search(clines[i]):
+                if not vector_ctor_on_line(clines[i]):
                     continue
                 if marker_near(lines, i, SEM_ALLOC_OK_RE, MARKER_BACKWINDOW):
                     continue
@@ -314,6 +353,21 @@ def lint_file(path: pathlib.Path, repo_root: pathlib.Path) -> list[Finding]:
                     "path allocates per apply; use the persistent member "
                     "scratch, or mark a deliberate baseline with `// lint: "
                     "sem-alloc-ok (<reason>)`"))
+
+    if in_exchange:
+        for lo, hi in hot_fn_ranges(clines, EXCHANGE_HOT_FN_RE):
+            for i in range(lo, hi + 1):
+                if not vector_ctor_on_line(clines[i]):
+                    continue
+                if marker_near(lines, i, EXCHANGE_ALLOC_OK_RE, MARKER_BACKWINDOW):
+                    continue
+                findings.append(Finding(
+                    rel, i + 1, "exchange-hot-alloc",
+                    "std::vector construction inside a halo fast-path body "
+                    "(update/reverse/begin_update/finish_update/pack_*/"
+                    "unpack_*/accumulate_*) allocates every force pass; use "
+                    "the hoisted member scratch, or mark a deliberate case "
+                    "with `// lint: exchange-alloc-ok (<reason>)`"))
 
     if in_src and path.suffix == ".hpp":
         head = [l.strip() for l in lines[:5]]
@@ -478,6 +532,39 @@ SELF_TEST_CASES = [
     ("src/other/ok_sem_rule_scoped.cpp",
      "void Ops::apply_stiffness(const V& u, V& y) const {\n"
      "  std::vector<double> lu(npe);\n}\n",
+     set()),
+    ("src/dpd/exchange/bad_hot_alloc.cpp",
+     "void HaloExchanger::update(DpdSystem& sys) {\n"
+     "  std::vector<double> buf(send_.size() * 6);\n"
+     "  comm_.send(0, 1, buf);\n}\n",
+     {"exchange-hot-alloc"}),
+    ("src/dpd/exchange/bad_hot_alloc_begin.cpp",
+     "void HaloExchanger::begin_update(DpdSystem& sys) {\n"
+     "  std::vector<xmp::Pending> pending;\n}\n",
+     {"exchange-hot-alloc"}),
+    ("src/dpd/exchange/ok_param_types.cpp",
+     "void pack_lanes(const SoA3& a, const std::vector<std::uint32_t>& idx,\n"
+     "                std::vector<double>& out) {\n"
+     "  out.resize(3 * idx.size());\n"
+     "  const std::vector<double>* lanes[3] = {&a.xs(), &a.ys(), &a.zs()};\n"
+     "}\n",
+     set()),
+    ("src/dpd/exchange/ok_hot_alloc_marker.cpp",
+     "void HaloExchanger::update(DpdSystem& sys) {\n"
+     "  // lint: exchange-alloc-ok (diagnostic copy outside the benchmarked path)\n"
+     "  std::vector<double> snapshot(recv_buf_);\n}\n",
+     set()),
+    ("src/dpd/exchange/ok_cold_build.cpp",
+     "std::vector<ParticleRecord> HaloExchanger::build(const std::vector<ParticleRecord>& o) {\n"
+     "  std::vector<ParticleRecord> merged = o;\n  return merged;\n}\n",
+     set()),
+    ("src/dpd/exchange/ok_call_not_definition.cpp",
+     "void DistributedDpd::refresh(DpdSystem& sys) {\n"
+     "  halo_.update(sys);\n  std::vector<double> disp(n);\n}\n",
+     set()),
+    ("src/dpd/ok_exchange_rule_scoped.cpp",
+     "void HaloExchanger::update(DpdSystem& sys) {\n"
+     "  std::vector<double> buf(n);\n}\n",
      set()),
     ("src/xmp/bad_thread_local.cpp",
      "thread_local int cached_rank = -1;\n",
